@@ -1,0 +1,57 @@
+//! Colluding-set selection for the `CRRI(τ)` adversary of Section 6.
+//!
+//! A collusion set `C_ρ` for rumor `ρ` may contain any process outside
+//! `ρ.D ∪ {source}`, with `|C_ρ| ≤ τ`. The auditor in the `congos` crate
+//! pools the fragment knowledge of each collusion set when checking
+//! Definition 2.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+use congos_sim::ProcessId;
+
+/// Picks up to `tau` colluders for a rumor: processes outside the
+/// destination set and distinct from the source. Returns fewer than `tau`
+/// only when the system is too small to contain `tau` eligible processes.
+pub fn pick_colluders(
+    rng: &mut SmallRng,
+    n: usize,
+    source: ProcessId,
+    dest: &[ProcessId],
+    tau: usize,
+) -> Vec<ProcessId> {
+    let mut eligible: Vec<ProcessId> = ProcessId::all(n)
+        .filter(|p| *p != source && !dest.contains(p))
+        .collect();
+    eligible.shuffle(rng);
+    eligible.truncate(tau);
+    eligible.sort_unstable();
+    eligible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn colluders_exclude_source_and_destinations() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let dest = vec![ProcessId::new(1), ProcessId::new(2)];
+        for _ in 0..20 {
+            let c = pick_colluders(&mut rng, 10, ProcessId::new(0), &dest, 4);
+            assert_eq!(c.len(), 4);
+            assert!(!c.contains(&ProcessId::new(0)));
+            assert!(!c.contains(&ProcessId::new(1)));
+            assert!(!c.contains(&ProcessId::new(2)));
+        }
+    }
+
+    #[test]
+    fn colluders_truncate_when_system_is_small() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let dest = vec![ProcessId::new(1)];
+        let c = pick_colluders(&mut rng, 3, ProcessId::new(0), &dest, 10);
+        assert_eq!(c, vec![ProcessId::new(2)]);
+    }
+}

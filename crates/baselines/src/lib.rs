@@ -1,0 +1,37 @@
+//! # congos-baselines — comparator protocols
+//!
+//! The protocols CONGOS is measured against in the paper's analysis and
+//! discussion sections:
+//!
+//! * [`DirectNode`] — the trivial confidential protocol: the source unicasts
+//!   the rumor to each destination. Always correct, always confidential,
+//!   per-round cost `Θ(Σ|D|)` of the rumors injected that round — the
+//!   comparator the paper's Section 5 invokes for short deadlines.
+//! * [`StronglyConfidentialNode`] — the subject of **Theorem 1**: epidemic
+//!   gossip where messages causally dependent on a rumor may only travel
+//!   between members of `ρ.D ∪ {source}`. The theorem shows this costs
+//!   `Ω(n^{3/2−ε}/dmax)` per round under the random-destination workload,
+//!   because distinct rumors can almost never share a message.
+//! * [`PlainEpidemicNode`] — non-confidential continuous gossip (the
+//!   substrate run bare): the efficiency reference, and the total loss of
+//!   confidentiality that motivates the paper.
+//! * [`CryptoMulticastNode`] — the cryptographic alternative sketched in
+//!   the paper's "Alternative approaches": per-group keys, re-keying when a
+//!   group is first used (or changes), encrypted delivery to each member.
+//!   Efficient for stable groups, expensive when every rumor has a fresh
+//!   destination set. *Simulated*: no real cryptography — the comparison is
+//!   purely about message complexity, which is what the paper compares (see
+//!   DESIGN.md §2.5 for the substitution note).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crypto_multicast;
+pub mod direct;
+pub mod epidemic;
+pub mod strongly_confidential;
+
+pub use crypto_multicast::{CryptoMsg, CryptoMulticastNode, TAG_MCAST, TAG_REKEY};
+pub use direct::{DirectNode, TAG_DIRECT};
+pub use epidemic::PlainEpidemicNode;
+pub use strongly_confidential::{StrongMsg, StronglyConfidentialNode, TAG_STRONG};

@@ -1,0 +1,77 @@
+//! Microbenchmarks of the protocol's primitives: XOR splitting, partition
+//! construction and queries, and the IdSet operations that sit on the hot
+//! path of every round.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use congos::{split, PartitionSet};
+use congos_sim::{IdSet, ProcessId};
+
+fn bench_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("split_merge");
+    for len in [64usize, 1024, 16384] {
+        let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+        g.bench_with_input(BenchmarkId::new("split_k2", len), &data, |b, data| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| black_box(split::split(&mut rng, data, 2)));
+        });
+        g.bench_with_input(BenchmarkId::new("split_k8", len), &data, |b, data| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| black_box(split::split(&mut rng, data, 8)));
+        });
+        let mut rng = SmallRng::seed_from_u64(2);
+        let frags = split::split(&mut rng, &data, 4);
+        g.bench_with_input(BenchmarkId::new("merge_k4", len), &frags, |b, frags| {
+            b.iter(|| {
+                let refs: Vec<&[u8]> = frags.iter().map(|f| f.as_slice()).collect();
+                black_box(split::merge(&refs))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_partitions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partitions");
+    for n in [64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("bits_construct", n), &n, |b, &n| {
+            b.iter(|| black_box(PartitionSet::bits(n)));
+        });
+        g.bench_with_input(BenchmarkId::new("random_tau3", n), &n, |b, &n| {
+            b.iter(|| black_box(PartitionSet::random(n, 3, 2.0, 7)));
+        });
+        let ps = PartitionSet::bits(n);
+        g.bench_with_input(BenchmarkId::new("separating", n), &ps, |b, ps| {
+            b.iter(|| {
+                black_box(ps.separating(ProcessId::new(0), ProcessId::new(n - 1)))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_idset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("idset");
+    for n in [256usize, 1024] {
+        let a = IdSet::from_iter(n, (0..n).step_by(2).map(ProcessId::new));
+        let b_set = IdSet::from_iter(n, (0..n).step_by(3).map(ProcessId::new));
+        g.bench_with_input(BenchmarkId::new("union", n), &n, |b, _| {
+            b.iter(|| {
+                let mut u = a.clone();
+                u.union_with(&b_set);
+                black_box(u)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("iter_sum", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(a.iter().map(ProcessId::as_usize).sum::<usize>())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_split, bench_partitions, bench_idset);
+criterion_main!(benches);

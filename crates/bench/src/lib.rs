@@ -1,0 +1,6 @@
+//! # congos-bench — benchmark-only crate
+//!
+//! All content lives in `benches/`; run with `cargo bench -p congos-bench`.
+//! Each bench group regenerates (a small-scale version of) one experiment
+//! from EXPERIMENTS.md; the full-scale tables come from the
+//! `congos-harness` binaries.

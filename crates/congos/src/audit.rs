@@ -1,0 +1,522 @@
+//! The confidentiality auditor.
+//!
+//! An omniscient observer (it sees every delivered message) that tracks,
+//! for every process, every rumor fragment the process has *ever* received
+//! — exactly the knowledge an honest-but-curious process could hoard — and
+//! checks the paper's guarantees on-line:
+//!
+//! * **Confidentiality (Definition 2 / Lemma 3 / Lemma 14):** no process
+//!   outside `ρ.D ∪ {source}` ever collects all `k` fragments of any single
+//!   `(rumor, partition)` split, nor receives the whole rumor; with
+//!   registered coalitions (the `CRRI(τ)` adversary of Section 6), the
+//!   *pooled* knowledge of each coalition is checked the same way.
+//! * **Delivery integrity:** every value a protocol delivers matches the
+//!   injected data and lands only at destination processes.
+//!
+//! Fragments from different partitions use independent pads, so
+//! reconstruction is only possible within one `(rumor, partition)` pair —
+//! which is what the auditor checks (XOR-combining fragments across
+//! partitions yields uniform noise; see [`crate::split`]).
+
+use std::collections::{HashMap, HashSet};
+
+use congos_sim::{Envelope, IdSet, Observer, OutputRecord, ProcessId, Round};
+
+use crate::messages::{CongosMsg, Fragment, GossipPayload};
+use crate::node::CongosNode;
+use crate::rumor::{CongosInput, CongosRumorId, DeliveredRumor};
+
+/// A violation the auditor detected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A process outside `ρ.D ∪ {source}` collected a full fragment set.
+    NonDestinationReconstructed {
+        /// The offending process.
+        process: ProcessId,
+        /// The rumor it can reconstruct.
+        rid: CongosRumorId,
+        /// The partition whose fragments completed.
+        partition: u16,
+    },
+    /// A coalition of curious processes pooled a full fragment set.
+    CoalitionReconstructed {
+        /// Index of the coalition (in registration order).
+        coalition: usize,
+        /// The rumor it can reconstruct.
+        rid: CongosRumorId,
+        /// The partition whose fragments completed.
+        partition: u16,
+    },
+    /// A whole rumor was sent to a process outside its destination set.
+    WholeRumorLeaked {
+        /// The receiving process.
+        process: ProcessId,
+        /// The leaked rumor.
+        rid: CongosRumorId,
+    },
+    /// A delivery fired at a non-destination process.
+    WrongDelivery {
+        /// The delivering process.
+        process: ProcessId,
+        /// The rumor.
+        rid: CongosRumorId,
+    },
+    /// A delivered value did not match the injected data.
+    CorruptDelivery {
+        /// The delivering process.
+        process: ProcessId,
+        /// The rumor.
+        rid: CongosRumorId,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct RumorMeta {
+    source: ProcessId,
+    dest: IdSet,
+    data: Option<Vec<u8>>,
+}
+
+/// Summary of an audited execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Violations found (empty = the execution was confidential & correct).
+    pub violations: Vec<Violation>,
+    /// Distinct rumors observed.
+    pub rumors: usize,
+    /// Fragment receipts recorded.
+    pub fragment_receipts: u64,
+    /// Deliveries checked.
+    pub deliveries: u64,
+}
+
+/// The auditor; implement as an [`Observer`] over a CONGOS engine run:
+///
+/// ```no_run
+/// # use congos::{CongosNode, ConfidentialityAuditor};
+/// # use congos_sim::{Engine, EngineConfig, NullAdversary};
+/// let mut engine = Engine::<CongosNode>::new(EngineConfig::new(8));
+/// let mut audit = ConfidentialityAuditor::new(8);
+/// engine.run_observed(100, &mut NullAdversary, &mut audit);
+/// audit.assert_clean();
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConfidentialityAuditor {
+    n: usize,
+    rumors: HashMap<CongosRumorId, RumorMeta>,
+    /// Per process: fragments ever held, as `(rid, partition, group)`.
+    holdings: Vec<HashSet<(CongosRumorId, u16, u8)>>,
+    /// Per process: rumors held whole (injection or shoot).
+    whole: Vec<HashSet<CongosRumorId>>,
+    /// Registered coalitions of curious processes.
+    coalitions: Vec<IdSet>,
+    /// Fragment count `k` per (rumor, partition) split.
+    split_k: HashMap<(CongosRumorId, u16), u8>,
+    report: AuditReport,
+}
+
+impl ConfidentialityAuditor {
+    /// Creates an auditor for `n` processes, with no coalitions.
+    pub fn new(n: usize) -> Self {
+        ConfidentialityAuditor {
+            n,
+            rumors: HashMap::new(),
+            holdings: vec![HashSet::new(); n],
+            whole: vec![HashSet::new(); n],
+            coalitions: Vec::new(),
+            split_k: HashMap::new(),
+            report: AuditReport::default(),
+        }
+    }
+
+    /// Registers a coalition: its members pool everything they ever learn.
+    /// (Members that are in a rumor's destination set legitimately know the
+    /// rumor; coalitions are only reported for rumors none of their members
+    /// may learn.)
+    pub fn add_coalition(&mut self, members: IdSet) {
+        assert_eq!(members.universe(), self.n, "coalition universe mismatch");
+        self.coalitions.push(members);
+    }
+
+    /// The audit findings so far.
+    pub fn report(&self) -> &AuditReport {
+        &self.report
+    }
+
+    /// Panics with a description of the first violation, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the audited execution violated confidentiality or delivery
+    /// integrity.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.report.violations.is_empty(),
+            "confidentiality audit failed: {:?} (of {} violations)",
+            self.report.violations[0],
+            self.report.violations.len()
+        );
+    }
+
+    fn meta_entry(&mut self, rid: CongosRumorId, dest: &IdSet) -> &mut RumorMeta {
+        self.report.rumors = self.rumors.len() + 1; // updated below if new
+        let entry = self.rumors.entry(rid).or_insert_with(|| RumorMeta {
+            source: rid.source,
+            dest: dest.clone(),
+            data: None,
+        });
+        entry
+    }
+
+    fn record_fragment(&mut self, holder: ProcessId, f: &Fragment) {
+        self.report.fragment_receipts += 1;
+        self.meta_entry(f.rid, &f.dest);
+        self.report.rumors = self.rumors.len();
+        self.split_k.insert((f.rid, f.partition), f.k);
+        let newly = self.holdings[holder.as_usize()].insert((f.rid, f.partition, f.group));
+        if !newly {
+            return;
+        }
+        self.check_process(holder, f.rid, f.partition);
+        // Coalition pooling: check every coalition containing the holder.
+        for ci in 0..self.coalitions.len() {
+            if self.coalitions[ci].contains(holder) {
+                self.check_coalition(ci, f.rid, f.partition);
+            }
+        }
+    }
+
+    fn record_whole(&mut self, holder: ProcessId, rid: CongosRumorId, dest: &IdSet) {
+        self.meta_entry(rid, dest);
+        self.report.rumors = self.rumors.len();
+        self.whole[holder.as_usize()].insert(rid);
+        let meta = &self.rumors[&rid];
+        if !meta.dest.contains(holder) && meta.source != holder {
+            self.report.violations.push(Violation::WholeRumorLeaked {
+                process: holder,
+                rid,
+            });
+        }
+    }
+
+    fn is_entitled(&self, p: ProcessId, rid: CongosRumorId) -> bool {
+        self.rumors
+            .get(&rid)
+            .is_some_and(|m| m.dest.contains(p) || m.source == p)
+    }
+
+    fn check_process(&mut self, p: ProcessId, rid: CongosRumorId, partition: u16) {
+        if self.is_entitled(p, rid) {
+            return;
+        }
+        let Some(&k) = self.split_k.get(&(rid, partition)) else {
+            return;
+        };
+        let held = (0..k)
+            .all(|g| self.holdings[p.as_usize()].contains(&(rid, partition, g)));
+        if held {
+            self.report
+                .violations
+                .push(Violation::NonDestinationReconstructed {
+                    process: p,
+                    rid,
+                    partition,
+                });
+        }
+    }
+
+    fn check_coalition(&mut self, ci: usize, rid: CongosRumorId, partition: u16) {
+        let coalition = &self.coalitions[ci];
+        // A coalition containing an entitled member knows the rumor
+        // legitimately.
+        if coalition.iter().any(|p| self.is_entitled(p, rid)) {
+            return;
+        }
+        let Some(&k) = self.split_k.get(&(rid, partition)) else {
+            return;
+        };
+        let pooled_all = (0..k).all(|g| {
+            coalition
+                .iter()
+                .any(|p| self.holdings[p.as_usize()].contains(&(rid, partition, g)))
+        });
+        if pooled_all {
+            self.report
+                .violations
+                .push(Violation::CoalitionReconstructed {
+                    coalition: ci,
+                    rid,
+                    partition,
+                });
+        }
+    }
+
+    fn record_payload(&mut self, holder: ProcessId, payload: &GossipPayload) {
+        if let GossipPayload::Fragments(frags) = payload {
+            for f in frags {
+                self.record_fragment(holder, f);
+            }
+        }
+        // ProxyMeta / GdShare / Distribution carry identities only — the
+        // type system guarantees no fragment bytes ride along.
+    }
+}
+
+impl Observer<CongosNode> for ConfidentialityAuditor {
+    fn on_deliver(&mut self, env: &Envelope<CongosMsg>) {
+        match &env.payload {
+            CongosMsg::Gossip { wire, .. } => {
+                if let congos_gossip::GossipWire::Push(rumors) = wire.as_ref() {
+                    for r in rumors.iter() {
+                        self.record_payload(env.dst, r.payload.as_ref());
+                    }
+                }
+            }
+            CongosMsg::ProxyRequest { fragments, .. }
+            | CongosMsg::Partials { fragments, .. } => {
+                for f in fragments {
+                    self.record_fragment(env.dst, f);
+                }
+            }
+            CongosMsg::Shoot { rumor, rid, .. } => {
+                // Note: the shoot payload is NOT recorded as ground truth —
+                // with the Section 7 extensions payloads are framed with a
+                // marker byte, and only `on_inject` sees the caller's
+                // original bytes.
+                self.record_whole(env.dst, *rid, &rumor.dest);
+            }
+            CongosMsg::ProxyAck { .. } => {}
+        }
+    }
+
+    fn on_inject(&mut self, round: Round, process: ProcessId, input: &CongosInput) {
+        let rid = CongosRumorId {
+            source: process,
+            birth: round,
+            seq: 0,
+        };
+        let dest = IdSet::from_iter(self.n, input.dest.iter().copied());
+        let meta = self.meta_entry(rid, &dest);
+        meta.data = Some(input.data.clone());
+        self.report.rumors = self.rumors.len();
+        self.whole[process.as_usize()].insert(rid);
+    }
+
+    fn on_output(&mut self, rec: &OutputRecord<DeliveredRumor>) {
+        self.report.deliveries += 1;
+        let rid = rec.value.rid;
+        match self.rumors.get(&rid) {
+            Some(meta) => {
+                if !meta.dest.contains(rec.process) {
+                    self.report.violations.push(Violation::WrongDelivery {
+                        process: rec.process,
+                        rid,
+                    });
+                }
+                if let Some(data) = &meta.data {
+                    if *data != rec.value.data {
+                        self.report.violations.push(Violation::CorruptDelivery {
+                            process: rec.process,
+                            rid,
+                        });
+                    }
+                }
+            }
+            None => {
+                // A delivery for a rumor never injected: corrupt by
+                // definition.
+                self.report.violations.push(Violation::CorruptDelivery {
+                    process: rec.process,
+                    rid,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congos_sim::Round;
+
+    fn rid(src: usize, birth: u64) -> CongosRumorId {
+        CongosRumorId {
+            source: ProcessId::new(src),
+            birth: Round(birth),
+            seq: 0,
+        }
+    }
+
+    fn frag(n: usize, src: usize, partition: u16, group: u8, k: u8, dest: &[usize]) -> Fragment {
+        Fragment {
+            rid: rid(src, 0),
+            wid: 0,
+            partition,
+            group,
+            k,
+            bytes: vec![1],
+            dest: IdSet::from_iter(n, dest.iter().map(|i| ProcessId::new(*i))),
+            dline: 64,
+        }
+    }
+
+    #[test]
+    fn partial_fragments_are_fine() {
+        let mut a = ConfidentialityAuditor::new(8);
+        a.record_fragment(ProcessId::new(5), &frag(8, 0, 0, 0, 2, &[1]));
+        assert!(a.report().violations.is_empty());
+        // Same rumor, *different partition*: still fine — independent pads.
+        a.record_fragment(ProcessId::new(5), &frag(8, 0, 1, 1, 2, &[1]));
+        assert!(a.report().violations.is_empty());
+    }
+
+    #[test]
+    fn completing_a_split_outside_dest_is_a_violation() {
+        let mut a = ConfidentialityAuditor::new(8);
+        a.record_fragment(ProcessId::new(5), &frag(8, 0, 0, 0, 2, &[1]));
+        a.record_fragment(ProcessId::new(5), &frag(8, 0, 0, 1, 2, &[1]));
+        assert_eq!(a.report().violations.len(), 1);
+        assert!(matches!(
+            a.report().violations[0],
+            Violation::NonDestinationReconstructed { partition: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn destinations_and_source_may_complete_splits() {
+        let mut a = ConfidentialityAuditor::new(8);
+        // p1 is a destination.
+        a.record_fragment(ProcessId::new(1), &frag(8, 0, 0, 0, 2, &[1]));
+        a.record_fragment(ProcessId::new(1), &frag(8, 0, 0, 1, 2, &[1]));
+        // p0 is the source.
+        a.record_fragment(ProcessId::new(0), &frag(8, 0, 0, 0, 2, &[1]));
+        a.record_fragment(ProcessId::new(0), &frag(8, 0, 0, 1, 2, &[1]));
+        a.assert_clean();
+    }
+
+    #[test]
+    fn coalition_pooling_is_detected() {
+        let mut a = ConfidentialityAuditor::new(8);
+        a.add_coalition(IdSet::from_iter(8, [ProcessId::new(5), ProcessId::new(6)]));
+        a.record_fragment(ProcessId::new(5), &frag(8, 0, 0, 0, 3, &[1]));
+        a.record_fragment(ProcessId::new(6), &frag(8, 0, 0, 1, 3, &[1]));
+        assert!(a.report().violations.is_empty(), "2 of 3 fragments pooled");
+        a.record_fragment(ProcessId::new(6), &frag(8, 0, 0, 2, 3, &[1]));
+        assert_eq!(a.report().violations.len(), 1);
+        assert!(matches!(
+            a.report().violations[0],
+            Violation::CoalitionReconstructed { coalition: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn coalition_with_entitled_member_is_legitimate() {
+        let mut a = ConfidentialityAuditor::new(8);
+        // p1 is in the destination set and in the coalition.
+        a.add_coalition(IdSet::from_iter(8, [ProcessId::new(1), ProcessId::new(6)]));
+        a.record_fragment(ProcessId::new(1), &frag(8, 0, 0, 0, 2, &[1]));
+        a.record_fragment(ProcessId::new(6), &frag(8, 0, 0, 1, 2, &[1]));
+        a.assert_clean();
+    }
+
+    #[test]
+    fn whole_rumor_to_non_destination_is_a_leak() {
+        let mut a = ConfidentialityAuditor::new(4);
+        let dest = IdSet::from_iter(4, [ProcessId::new(1)]);
+        a.record_whole(ProcessId::new(2), rid(0, 0), &dest);
+        assert_eq!(a.report().violations.len(), 1);
+        assert!(matches!(
+            a.report().violations[0],
+            Violation::WholeRumorLeaked { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "confidentiality audit failed")]
+    fn assert_clean_panics_on_violation() {
+        let mut a = ConfidentialityAuditor::new(4);
+        let dest = IdSet::from_iter(4, [ProcessId::new(1)]);
+        a.record_whole(ProcessId::new(2), rid(0, 0), &dest);
+        a.assert_clean();
+    }
+}
+
+#[cfg(test)]
+mod output_tests {
+    use super::*;
+    use crate::rumor::{DeliveredRumor, DeliveryPath};
+    use congos_sim::{OutputRecord, Round};
+
+    fn rid(src: usize) -> CongosRumorId {
+        CongosRumorId {
+            source: ProcessId::new(src),
+            birth: Round(0),
+            seq: 0,
+        }
+    }
+
+    fn inject(a: &mut ConfidentialityAuditor, src: usize, data: &[u8], dest: &[usize]) {
+        let input = CongosInput {
+            wid: 0,
+            data: data.to_vec(),
+            deadline: 64,
+            dest: dest.iter().map(|i| ProcessId::new(*i)).collect(),
+        };
+        Observer::<crate::node::CongosNode>::on_inject(a, Round(0), ProcessId::new(src), &input);
+    }
+
+    fn output(a: &mut ConfidentialityAuditor, at: usize, src: usize, data: &[u8]) {
+        let rec = OutputRecord {
+            round: Round(5),
+            process: ProcessId::new(at),
+            value: DeliveredRumor {
+                wid: 0,
+                rid: rid(src),
+                data: data.to_vec(),
+                via: DeliveryPath::Fragments,
+            },
+        };
+        Observer::<crate::node::CongosNode>::on_output(a, &rec);
+    }
+
+    #[test]
+    fn correct_delivery_is_clean() {
+        let mut a = ConfidentialityAuditor::new(4);
+        inject(&mut a, 0, b"data", &[2]);
+        output(&mut a, 2, 0, b"data");
+        a.assert_clean();
+        assert_eq!(a.report().deliveries, 1);
+    }
+
+    #[test]
+    fn wrong_destination_is_flagged() {
+        let mut a = ConfidentialityAuditor::new(4);
+        inject(&mut a, 0, b"data", &[2]);
+        output(&mut a, 3, 0, b"data");
+        assert!(matches!(
+            a.report().violations[0],
+            Violation::WrongDelivery { .. }
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_is_flagged() {
+        let mut a = ConfidentialityAuditor::new(4);
+        inject(&mut a, 0, b"data", &[2]);
+        output(&mut a, 2, 0, b"wrong");
+        assert!(matches!(
+            a.report().violations[0],
+            Violation::CorruptDelivery { .. }
+        ));
+    }
+
+    #[test]
+    fn delivery_of_unknown_rumor_is_corrupt() {
+        let mut a = ConfidentialityAuditor::new(4);
+        output(&mut a, 2, 0, b"ghost");
+        assert!(matches!(
+            a.report().violations[0],
+            Violation::CorruptDelivery { .. }
+        ));
+    }
+}

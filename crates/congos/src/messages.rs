@@ -1,0 +1,254 @@
+//! Wire types: fragments and the multiplexed CONGOS message.
+
+use std::sync::Arc;
+
+use congos_gossip::GossipWire;
+use congos_sim::{IdSet, ProcessId, Tag};
+use serde::{Deserialize, Serialize};
+
+use crate::rumor::{CongosRumorId, Rumor};
+
+/// One fragment of a split rumor, for one partition.
+///
+/// The `bytes` carry no information about the rumor on their own (XOR
+/// secret sharing, [`crate::split`]); everything else is the metadata the
+/// paper deliberately attaches to fragments — destination set, deadline
+/// class, identity — which the protocol needs for routing and confirmation
+/// and which the confidentiality definition permits to circulate.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fragment {
+    /// Identity of the original rumor.
+    pub rid: CongosRumorId,
+    /// Workload id (experiment correlation only).
+    pub wid: u64,
+    /// Partition index `ℓ` this split belongs to.
+    pub partition: u16,
+    /// Group index of this fragment within partition `ℓ` (fragment `g` is
+    /// confined to group `g`).
+    pub group: u8,
+    /// Total fragments in this split (`τ+1`).
+    pub k: u8,
+    /// The fragment bytes (a uniform pad, or the XOR-masked residue).
+    pub bytes: Vec<u8>,
+    /// The rumor's destination set `ρ.D` (metadata).
+    pub dest: IdSet,
+    /// Trimmed deadline class of the rumor (selects the protocol instance).
+    pub dline: u64,
+}
+
+impl Fragment {
+    /// Key identifying the split this fragment belongs to.
+    pub fn split_key(&self) -> (CongosRumorId, u16) {
+        (self.rid, self.partition)
+    }
+
+    /// Estimated wire size in bytes: fragment payload + destination bitmap
+    /// + fixed metadata (ids, indices).
+    pub fn wire_size(&self) -> u64 {
+        self.bytes.len() as u64 + self.dest.universe().div_ceil(8) as u64 + 24
+    }
+}
+
+/// Payload carried inside GroupGossip/AllGossip instances.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GossipPayload {
+    /// Rumor fragments spreading within their group (the source's own-group
+    /// injection, and proxies re-sharing fragments received from other
+    /// groups).
+    Fragments(Vec<Fragment>),
+    /// Proxy-service iteration metadata shared within a group: processes the
+    /// sender has learned are failed proxies, plus an "I am an active
+    /// collaborator" beacon (Figure 9's `⟨proxy-buffer, failed-proxies, i⟩`;
+    /// the buffer fragments ride separately as [`GossipPayload::Fragments`]).
+    ProxyMeta {
+        /// Failed proxies learned this block.
+        failed_proxies: Vec<ProcessId>,
+    },
+    /// GroupDistribution iteration metadata shared within a group:
+    /// the sender's hit-set (Figure 10's `⟨share, hitSet, i⟩`). The group is
+    /// implicit — shares never leave the group that produced them.
+    GdShare {
+        /// `(target, rumor id)` pairs already served.
+        hits: Vec<(ProcessId, CongosRumorId)>,
+    },
+    /// Sanitized distribution metadata broadcast via AllGossip at block end
+    /// (Figure 10's `⟨distribution, i, ℓ, hitSet⟩`): which fragments were
+    /// sent to which processes — identities only, no fragment bytes.
+    Distribution {
+        /// Partition the hits belong to.
+        partition: u16,
+        /// Group of the *sender* in that partition (whose fragment was
+        /// distributed).
+        group: u8,
+        /// `(target, rumor id)` pairs served.
+        hits: Vec<(ProcessId, CongosRumorId)>,
+    },
+}
+
+impl GossipPayload {
+    /// Estimated wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            GossipPayload::Fragments(frags) => {
+                frags.iter().map(Fragment::wire_size).sum::<u64>() + 4
+            }
+            GossipPayload::ProxyMeta { failed_proxies } => {
+                4 * failed_proxies.len() as u64 + 8
+            }
+            GossipPayload::GdShare { hits } => 20 * hits.len() as u64 + 8,
+            GossipPayload::Distribution { hits, .. } => 20 * hits.len() as u64 + 12,
+        }
+    }
+}
+
+/// Identifies one gossip endpoint within a process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum GossipLane {
+    /// `GroupGossip[ℓ]` of a deadline class (the filtered instance for the
+    /// sender's group in partition `ℓ`).
+    Group {
+        /// Deadline class.
+        dline: u64,
+        /// Partition index.
+        ell: u16,
+    },
+    /// The unfiltered `AllGossip` of a deadline class.
+    All {
+        /// Deadline class.
+        dline: u64,
+    },
+}
+
+/// The multiplexed message type of a CONGOS process.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CongosMsg {
+    /// Traffic of a gossip endpoint. Payloads are `Arc`-shared: epidemic
+    /// push clones a batch per target every round, and the payloads are the
+    /// bulk of the bytes.
+    Gossip {
+        /// Which endpoint.
+        lane: GossipLane,
+        /// The gossip wire message.
+        wire: Box<GossipWire<Arc<GossipPayload>>>,
+    },
+    /// A proxy request (Figure 9, round 1 of an iteration): fragments the
+    /// receiver is asked to spread in its own group.
+    ProxyRequest {
+        /// Deadline class.
+        dline: u64,
+        /// Partition index.
+        ell: u16,
+        /// Fragments belonging to the receiver's group.
+        fragments: Vec<Fragment>,
+    },
+    /// Acknowledgment that proxying succeeded (Figure 9, last round).
+    ProxyAck {
+        /// Deadline class.
+        dline: u64,
+        /// Partition index.
+        ell: u16,
+    },
+    /// GroupDistribution delivery (Figure 10, round 2): fragments whose
+    /// destination set contains the receiver.
+    Partials {
+        /// Deadline class.
+        dline: u64,
+        /// Partition index.
+        ell: u16,
+        /// The "appropriate" fragments for this receiver.
+        fragments: Vec<Fragment>,
+    },
+    /// The deadline fallback: the whole rumor, sent directly to a
+    /// destination (Figure 8's `⟨shoot, r⟩`). Also used for deadlines too
+    /// short for the pipeline (`direct = true`).
+    Shoot {
+        /// The rumor (receiver is guaranteed to be in `rumor.dest`).
+        rumor: Rumor,
+        /// Identity, for delivery dedup.
+        rid: CongosRumorId,
+        /// `true` when sent eagerly (short deadline / degenerate collusion)
+        /// rather than as an expiring-deadline fallback.
+        direct: bool,
+    },
+}
+
+impl CongosMsg {
+    /// Estimated wire size in bytes — the basis for the communication-
+    /// complexity metrics (Section 7 of the paper).
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            CongosMsg::Gossip { wire, .. } => {
+                8 + match wire.as_ref() {
+                    congos_gossip::GossipWire::Push(rumors) => rumors
+                        .iter()
+                        .map(|r| {
+                            r.payload.wire_size()
+                                + r.dest.universe().div_ceil(8) as u64
+                                + 32
+                        })
+                        .sum::<u64>(),
+                    congos_gossip::GossipWire::Ack(ids) => 16 * ids.len() as u64,
+                }
+            }
+            CongosMsg::ProxyRequest { fragments, .. }
+            | CongosMsg::Partials { fragments, .. } => {
+                fragments.iter().map(Fragment::wire_size).sum::<u64>() + 12
+            }
+            CongosMsg::ProxyAck { .. } => 12,
+            CongosMsg::Shoot { rumor, .. } => {
+                rumor.data.len() as u64 + rumor.dest.universe().div_ceil(8) as u64 + 32
+            }
+        }
+    }
+}
+
+/// Tag for Proxy service traffic (requests + acks), metered per Lemma 7.
+pub const TAG_PROXY: Tag = Tag("proxy");
+/// Tag for GroupDistribution service traffic, metered per Lemma 7.
+pub const TAG_GD: Tag = Tag("group_dist");
+/// Tag for the filtered GroupGossip substrate instances.
+pub const TAG_GROUP_GOSSIP: Tag = Tag("group_gossip");
+/// Tag for the unfiltered AllGossip substrate instance.
+pub const TAG_ALL_GOSSIP: Tag = Tag("all_gossip");
+/// Tag for deadline-fallback and short-deadline direct sends.
+pub const TAG_SHOOT: Tag = Tag("shoot");
+
+/// Resolves a CONGOS tag by its wire name (used by network runtimes that
+/// transmit tag names as strings).
+pub fn tag_by_name(name: &str) -> Option<Tag> {
+    match name {
+        "proxy" => Some(TAG_PROXY),
+        "group_dist" => Some(TAG_GD),
+        "group_gossip" => Some(TAG_GROUP_GOSSIP),
+        "all_gossip" => Some(TAG_ALL_GOSSIP),
+        "shoot" => Some(TAG_SHOOT),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congos_sim::Round;
+
+    #[test]
+    fn split_key_groups_fragments_of_one_split() {
+        let rid = CongosRumorId {
+            source: ProcessId::new(0),
+            birth: Round(3),
+            seq: 0,
+        };
+        let f = |group: u8, partition: u16| Fragment {
+            rid,
+            wid: 0,
+            partition,
+            group,
+            k: 2,
+            bytes: vec![],
+            dest: IdSet::empty(4),
+            dline: 64,
+        };
+        assert_eq!(f(0, 1).split_key(), f(1, 1).split_key());
+        assert_ne!(f(0, 1).split_key(), f(0, 2).split_key());
+    }
+}

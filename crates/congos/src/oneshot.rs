@@ -1,0 +1,205 @@
+//! Single-instance confidential gossip — a convenience entry point.
+//!
+//! The paper closes by noting that the continuous-gossip techniques "apply
+//! to other gossip variants (e.g., single-instance gossip)". This module
+//! packages that observation as a one-call API: hand it a batch of
+//! confidential rumors, get back who learned what and when, with the
+//! confidentiality audit already performed. Useful for quick evaluations
+//! and as the simplest possible onboarding to the library (the underlying
+//! machinery is the full CONGOS protocol on the lock-step engine).
+
+use congos_adversary::{CrriAdversary, NoFailures, OneShot, RumorSpec};
+use congos_sim::{Engine, EngineConfig, ProcessId, Round};
+
+use crate::audit::ConfidentialityAuditor;
+use crate::config::CongosConfig;
+use crate::node::CongosNode;
+use crate::rumor::DeliveryPath;
+
+/// A rumor for a one-shot run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OneshotRumor {
+    /// The confidential payload.
+    pub data: Vec<u8>,
+    /// The source process.
+    pub source: ProcessId,
+    /// The destination processes.
+    pub dest: Vec<ProcessId>,
+    /// Deadline in rounds (the run lasts one round longer than the longest
+    /// deadline).
+    pub deadline: u64,
+}
+
+/// One delivery from a one-shot run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OneshotDelivery {
+    /// Index of the rumor in the input batch.
+    pub rumor: usize,
+    /// The receiving process.
+    pub process: ProcessId,
+    /// Round of delivery (counting from 0).
+    pub round: u64,
+    /// How it arrived.
+    pub via: DeliveryPath,
+}
+
+/// Result of a one-shot run.
+#[derive(Clone, Debug)]
+pub struct OneshotReport {
+    /// All deliveries, ordered by `(round, process)`.
+    pub deliveries: Vec<OneshotDelivery>,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+}
+
+/// Runs one batch of confidential rumors to completion on `n` processes
+/// (failure-free, audited), with the default configuration.
+///
+/// # Panics
+///
+/// Panics if any rumor's source or destination is out of range, if two
+/// rumors share a source (the model allows one injection per process per
+/// round), or if the execution violates confidentiality (the built-in
+/// audit).
+///
+/// # Examples
+///
+/// ```
+/// use congos::oneshot::{share, OneshotRumor};
+/// use congos_sim::ProcessId;
+///
+/// let report = share(
+///     16,
+///     7,
+///     &[OneshotRumor {
+///         data: b"payload".to_vec(),
+///         source: ProcessId::new(0),
+///         dest: vec![ProcessId::new(5), ProcessId::new(9)],
+///         deadline: 64,
+///     }],
+/// );
+/// assert_eq!(report.deliveries.len(), 2);
+/// assert!(report.deliveries.iter().all(|d| d.round <= 64));
+/// ```
+pub fn share(n: usize, seed: u64, rumors: &[OneshotRumor]) -> OneshotReport {
+    share_with(n, seed, rumors, CongosConfig::base())
+}
+
+/// [`share`] with an explicit configuration (e.g. collusion-tolerant).
+///
+/// # Panics
+///
+/// As [`share`].
+pub fn share_with(
+    n: usize,
+    seed: u64,
+    rumors: &[OneshotRumor],
+    cfg: CongosConfig,
+) -> OneshotReport {
+    let mut sources = Vec::new();
+    let mut batch = Vec::new();
+    let mut horizon = 0u64;
+    for (i, r) in rumors.iter().enumerate() {
+        assert!(r.source.as_usize() < n, "source out of range");
+        assert!(
+            r.dest.iter().all(|d| d.as_usize() < n),
+            "destination out of range"
+        );
+        assert!(
+            !sources.contains(&r.source),
+            "one injection per process per round: duplicate source {}",
+            r.source
+        );
+        sources.push(r.source);
+        horizon = horizon.max(r.deadline);
+        batch.push((
+            r.source,
+            RumorSpec::new(i as u64, r.data.clone(), r.deadline, r.dest.clone()),
+        ));
+    }
+
+    let mut adv = CrriAdversary::new(NoFailures, OneShot::new(Round(0), batch));
+    let mut audit = ConfidentialityAuditor::new(n);
+    let cfg2 = cfg.clone();
+    let mut engine = Engine::<CongosNode>::with_factory(
+        EngineConfig::new(n).seed(seed),
+        move |id, n, _s| CongosNode::with_config(id, n, cfg2.clone()),
+    );
+    engine.run_observed(horizon + 2, &mut adv, &mut audit);
+    audit.assert_clean();
+
+    let deliveries = engine
+        .outputs()
+        .iter()
+        .map(|o| OneshotDelivery {
+            rumor: o.value.wid as usize,
+            process: o.process,
+            round: o.round.as_u64(),
+            via: o.value.via,
+        })
+        .collect();
+    OneshotReport {
+        deliveries,
+        messages: engine.metrics().total(),
+        bytes: engine.metrics().total_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_of_rumors_delivers_confidentially() {
+        let rumors = vec![
+            OneshotRumor {
+                data: vec![1; 8],
+                source: ProcessId::new(0),
+                dest: vec![ProcessId::new(3)],
+                deadline: 64,
+            },
+            OneshotRumor {
+                data: vec![2; 8],
+                source: ProcessId::new(1),
+                dest: vec![ProcessId::new(4), ProcessId::new(5)],
+                deadline: 64,
+            },
+        ];
+        let report = share(8, 3, &rumors);
+        assert_eq!(report.deliveries.len(), 3);
+        assert!(report.messages > 0);
+        assert!(report.bytes > 0);
+        for d in &report.deliveries {
+            assert!(rumors[d.rumor].dest.contains(&d.process));
+            assert!(d.round <= 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate source")]
+    fn rejects_duplicate_sources() {
+        let r = OneshotRumor {
+            data: vec![0],
+            source: ProcessId::new(0),
+            dest: vec![ProcessId::new(1)],
+            deadline: 64,
+        };
+        let _ = share(4, 0, &[r.clone(), r]);
+    }
+
+    #[test]
+    fn collusion_tolerant_oneshot() {
+        let rumors = vec![OneshotRumor {
+            data: vec![7; 16],
+            source: ProcessId::new(2),
+            dest: vec![ProcessId::new(9)],
+            deadline: 64,
+        }];
+        let cfg = CongosConfig::collusion_tolerant(2, 5).without_degenerate_shortcut();
+        let report = share_with(16, 9, &rumors, cfg);
+        assert_eq!(report.deliveries.len(), 1);
+        assert_eq!(report.deliveries[0].process, ProcessId::new(9));
+    }
+}

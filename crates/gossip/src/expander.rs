@@ -1,0 +1,184 @@
+//! Deterministic target schedules over expander-like graphs.
+//!
+//! The original continuous-gossip substrate [13] *de-randomizes* the
+//! epidemic: random per-round choices are replaced by edges of explicit
+//! expander graphs, so the protocol's behavior — and its guarantees — hold
+//! against an adversary that knows every future "choice". This module
+//! provides that mode using a classic constructive expander family on the
+//! group's member list: the **hypercube/Chord offsets** `±2^j` (plus the
+//! unit cycle), which give logarithmic diameter and good vertex expansion
+//! on any group size, rotated by round so that over any window of rounds a
+//! member contacts a spread of distinct peers.
+//!
+//! Whether a gossip instance uses random sampling or the deterministic
+//! schedule is a [`GossipStrategy`] choice; both satisfy the black-box
+//! contract the CONGOS layer needs (probability-1 QoD via the deadline
+//! fallback, bounded per-round complexity).
+
+use congos_sim::{IdSet, ProcessId, Round};
+use serde::{Deserialize, Serialize};
+
+/// How a gossip endpoint chooses its epidemic push targets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GossipStrategy {
+    /// Uniform random members (the analysis-friendly randomized epidemic).
+    #[default]
+    Random,
+    /// Deterministic expander schedule (the de-randomized [13] mode): the
+    /// adversary gains nothing from seeing the process's coin flips,
+    /// because there are none.
+    Expander,
+}
+
+/// The deterministic neighbor schedule for one member of a group.
+///
+/// Members are ranked by id within the (sorted) membership; the `j`-th
+/// target of rank `i` in round `t` is
+/// `rank (i + d_{(t+j) mod D}) mod m`, where the offset family
+/// `d_0.. = 1, 2, 4, …, 2^⌈log₂ m⌉⁻¹, m−1, m−2, m−4, …` walks the
+/// hypercube offsets forwards and backwards.
+///
+/// Properties used by the substrate:
+/// * every offset is non-zero mod `m` (no self-sends);
+/// * over `D = Θ(log m)` consecutive rounds a member contacts targets whose
+///   offsets span all binary scales — the union graph has logarithmic
+///   diameter, so a rumor injected anywhere floods the group in
+///   `O(log² m)` rounds even if a constant fraction of members crash.
+pub fn expander_targets(
+    membership: &IdSet,
+    me: ProcessId,
+    now: Round,
+    fanout: usize,
+) -> Vec<ProcessId> {
+    let members: Vec<ProcessId> = membership.iter().collect();
+    let m = members.len();
+    if m <= 1 {
+        return Vec::new();
+    }
+    let my_rank = members
+        .binary_search(&me)
+        .expect("caller is a member of the group");
+
+    // Offset family: powers of two and their negations (mod m).
+    let bits = usize::BITS - (m - 1).leading_zeros(); // ⌈log2 m⌉
+    let mut offsets: Vec<usize> = Vec::with_capacity(2 * bits as usize);
+    for j in 0..bits {
+        offsets.push((1usize << j) % m);
+    }
+    for j in 0..bits {
+        offsets.push(m - ((1usize << j) % m));
+    }
+    offsets.retain(|o| *o != 0 && *o != m);
+    offsets.dedup();
+    if offsets.is_empty() {
+        offsets.push(1);
+    }
+
+    let d = offsets.len();
+    let t = now.as_u64() as usize;
+    let mut out = Vec::with_capacity(fanout.min(m - 1));
+    let mut seen = vec![false; m];
+    for j in 0..fanout.min(m - 1) + d {
+        if out.len() >= fanout.min(m - 1) {
+            break;
+        }
+        let off = offsets[(t + j) % d];
+        let rank = (my_rank + off) % m;
+        if rank != my_rank && !seen[rank] {
+            seen[rank] = true;
+            out.push(members[rank]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(ids: &[usize], n: usize) -> IdSet {
+        IdSet::from_iter(n, ids.iter().map(|i| ProcessId::new(*i)))
+    }
+
+    #[test]
+    fn no_self_sends_and_distinct_targets() {
+        let g = group(&[0, 3, 5, 8, 9, 12, 17, 20], 24);
+        for t in 0..40u64 {
+            for me in g.iter() {
+                let targets = expander_targets(&g, me, Round(t), 3);
+                assert!(!targets.contains(&me), "self-send at t={t}");
+                let mut d = targets.clone();
+                d.sort_unstable();
+                d.dedup();
+                assert_eq!(d.len(), targets.len(), "duplicate targets");
+                assert!(targets.iter().all(|p| g.contains(*p)));
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let g = group(&[1, 2, 4, 7], 8);
+        let a = expander_targets(&g, ProcessId::new(2), Round(9), 2);
+        let b = expander_targets(&g, ProcessId::new(2), Round(9), 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rotation_covers_all_scales() {
+        // Over enough rounds with fanout 1, a member contacts peers at
+        // every binary distance — the union neighborhood is large.
+        let n = 32;
+        let g = IdSet::full(n);
+        let me = ProcessId::new(5);
+        let mut contacted: Vec<ProcessId> = Vec::new();
+        for t in 0..64u64 {
+            contacted.extend(expander_targets(&g, me, Round(t), 1));
+        }
+        contacted.sort_unstable();
+        contacted.dedup();
+        assert!(
+            contacted.len() >= 2 * (n as f64).log2() as usize - 2,
+            "union neighborhood too small: {}",
+            contacted.len()
+        );
+    }
+
+    #[test]
+    fn flood_reaches_whole_group_quickly() {
+        // Simulate a pure flood over the deterministic schedule: informed
+        // members push to their round targets; everyone must be informed
+        // within O(log² m) rounds.
+        let m = 64;
+        let g = IdSet::full(m);
+        let mut informed = vec![false; m];
+        informed[7] = true;
+        let fanout = 2;
+        let mut rounds_needed = None;
+        for t in 0..200u64 {
+            let snapshot = informed.clone();
+            for (i, is) in snapshot.iter().enumerate() {
+                if *is {
+                    for tgt in expander_targets(&g, ProcessId::new(i), Round(t), fanout) {
+                        informed[tgt.as_usize()] = true;
+                    }
+                }
+            }
+            if informed.iter().all(|b| *b) {
+                rounds_needed = Some(t + 1);
+                break;
+            }
+        }
+        let needed = rounds_needed.expect("flood must complete");
+        assert!(needed <= 40, "flood took {needed} rounds");
+    }
+
+    #[test]
+    fn tiny_groups_are_handled() {
+        let g = group(&[4], 8);
+        assert!(expander_targets(&g, ProcessId::new(4), Round(0), 3).is_empty());
+        let g = group(&[2, 6], 8);
+        let t = expander_targets(&g, ProcessId::new(2), Round(5), 3);
+        assert_eq!(t, vec![ProcessId::new(6)]);
+    }
+}

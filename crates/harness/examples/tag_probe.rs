@@ -1,0 +1,22 @@
+use congos::CongosNode;
+use congos_adversary::{NoFailures, PoissonWorkload};
+use congos_harness::run::{run, RunSpec};
+use congos_sim::{Round, Tag};
+
+fn main() {
+    for n in [16usize, 32, 64] {
+        let deadline = 64u64;
+        let rounds = 4 * deadline;
+        let spec = RunSpec { n, seed: 0xE3, rounds };
+        let w = PoissonWorkload::new(0.05, 3, deadline, 0xE3).until(Round(rounds - deadline));
+        let o = run::<CongosNode, _, _>(spec, NoFailures, w);
+        println!("n={n} max/rnd={}", o.metrics.max_per_round());
+        for tag in ["proxy", "group_dist", "group_gossip", "all_gossip", "shoot"] {
+            println!(
+                "  {tag:>12}: total {:>9} max/rnd {:>7}",
+                o.metrics.total_of(Tag(tag)),
+                o.metrics.max_per_round_of(Tag(tag))
+            );
+        }
+    }
+}

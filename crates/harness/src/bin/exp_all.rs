@@ -1,0 +1,34 @@
+//! Regenerates every experiment table (EXPERIMENTS.md).
+//!
+//! Flags: `--full` for the larger sweeps, `--csv` for machine-readable
+//! output, `--json <path>` to also write all tables as a JSON document.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let csv = args.iter().any(|a| a == "--csv");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let tables = congos_harness::experiments::run_all(full);
+    for table in &tables {
+        if csv {
+            println!("# {}", table.title());
+            print!("{}", table.to_csv());
+        } else {
+            table.print();
+        }
+    }
+    if let Some(path) = json_path {
+        let doc = serde_json::json!({
+            "suite": "confidential-gossip experiments",
+            "full": full,
+            "tables": tables.iter().map(|t| t.to_json()).collect::<Vec<_>>(),
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates experiment E3 (see EXPERIMENTS.md). Pass --full for the
+//! larger sweep, --csv for machine-readable output.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let csv = args.iter().any(|a| a == "--csv");
+    for table in congos_harness::experiments::e3_complexity::run(full) {
+        if csv {
+            println!("# {}", table.title());
+            print!("{}", table.to_csv());
+        } else {
+            table.print();
+        }
+    }
+}

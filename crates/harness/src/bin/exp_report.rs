@@ -1,0 +1,59 @@
+//! Renders an experiments JSON document (produced by `exp_all --json`) as a
+//! markdown report — the generator behind EXPERIMENTS.md's measured
+//! sections.
+//!
+//! ```text
+//! cargo run -p congos-harness --bin exp_all -- --full --json results/full.json
+//! cargo run -p congos-harness --bin exp_report -- results/full.json > report.md
+//! ```
+
+use std::fmt::Write as _;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .expect("usage: exp_report <results.json>");
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("read results json"))
+            .expect("parse results json");
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Experiment report");
+    let _ = writeln!(
+        out,
+        "\nGenerated from `{path}` (full sweeps: {}).\n",
+        doc["full"].as_bool().unwrap_or(false)
+    );
+    for table in doc["tables"].as_array().expect("tables array") {
+        let title = table["title"].as_str().unwrap_or("?");
+        let _ = writeln!(out, "## {title}\n");
+        let headers: Vec<&str> = table["headers"]
+            .as_array()
+            .expect("headers")
+            .iter()
+            .map(|h| h.as_str().unwrap_or("?"))
+            .collect();
+        let _ = writeln!(out, "| {} |", headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in table["rows"].as_array().expect("rows") {
+            let cells: Vec<&str> = row
+                .as_array()
+                .expect("row")
+                .iter()
+                .map(|c| c.as_str().unwrap_or("?"))
+                .collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        if let Some(notes) = table["notes"].as_array() {
+            for note in notes {
+                let _ = writeln!(out, "\n> {}", note.as_str().unwrap_or(""));
+            }
+        }
+        let _ = writeln!(out);
+    }
+    print!("{out}");
+}

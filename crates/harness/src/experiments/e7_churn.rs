@@ -1,0 +1,123 @@
+//! **E7 — robustness: QoD and fallback rarity under churn (Lemma 10).**
+//!
+//! Sweeps the per-round crash probability. Two things must hold:
+//! admissible rumors are *always* delivered on time (probability-1 QoD),
+//! and the deadline fallback stays rare while the pipeline can still
+//! function — Lemma 10 says sources normally receive confirmation before
+//! the deadline, so "shoot" messages are the exception, not the mechanism.
+
+use congos::CongosNode;
+use congos_adversary::{CrriAdversary, PoissonWorkload, RandomChurn};
+use congos_sim::{Engine, EngineConfig, ProcessId, Round};
+
+use crate::table::Table;
+
+/// Runs E7 and returns its table.
+pub fn run(full: bool) -> Vec<Table> {
+    let n = if full { 32 } else { 16 };
+    let rounds = if full { 512u64 } else { 256 };
+    let deadline = 64u64;
+    let crash_ps: &[f64] = if full {
+        &[0.0, 0.001, 0.002, 0.005, 0.01, 0.02]
+    } else {
+        &[0.0, 0.002, 0.01]
+    };
+
+    let mut t = Table::new(
+        "E7: robustness under churn (Lemma 10)",
+        &[
+            "p_crash",
+            "crashes",
+            "admissible",
+            "on_time%",
+            "late",
+            "missed",
+            "confirmed",
+            "fallbacks",
+        ],
+    );
+    for &p in crash_ps {
+        let workload =
+            PoissonWorkload::new(0.03, 3, deadline, 0xE7).until(Round(rounds - deadline));
+        let churn = RandomChurn::new(p, 0.15, 0xE7);
+        let mut adv = CrriAdversary::new(churn, workload);
+        let mut engine = Engine::<CongosNode>::new(EngineConfig::new(n).seed(0xE7));
+        engine.run(rounds, &mut adv);
+
+        let (mut admissible, mut on_time, mut late, mut missed) = (0u64, 0u64, 0u64, 0u64);
+        for entry in adv.workload().log() {
+            let t0 = entry.round;
+            let end = t0 + entry.spec.deadline;
+            if !engine.liveness().continuously_alive(entry.source, t0, end) {
+                continue;
+            }
+            for d in &entry.spec.dest {
+                if !engine.liveness().continuously_alive(*d, t0, end) {
+                    continue;
+                }
+                admissible += 1;
+                let best = engine
+                    .outputs()
+                    .iter()
+                    .filter(|o| o.process == *d && o.value.wid == entry.spec.id)
+                    .map(|o| o.round)
+                    .min();
+                match best {
+                    Some(r) if r <= end => on_time += 1,
+                    Some(_) => late += 1,
+                    None => missed += 1,
+                }
+            }
+        }
+        assert_eq!(late + missed, 0, "p={p}: QoD violated");
+
+        let (mut confirmed, mut fallbacks) = (0u64, 0u64);
+        for pid in ProcessId::all(n) {
+            let s = engine.protocol(pid).stats();
+            confirmed += s.confirmed;
+            fallbacks += s.fallbacks;
+        }
+        t.row(vec![
+            format!("{p:.3}"),
+            engine.liveness().crash_count().to_string(),
+            admissible.to_string(),
+            format!(
+                "{:.1}",
+                if admissible == 0 {
+                    100.0
+                } else {
+                    100.0 * on_time as f64 / admissible as f64
+                }
+            ),
+            late.to_string(),
+            missed.to_string(),
+            confirmed.to_string(),
+            fallbacks.to_string(),
+        ]);
+    }
+    t.note("on_time% = 100 in every row (probability-1 QoD for admissible rumors)");
+    t.note("fallbacks stay a small fraction of confirmed while the system is mostly alive");
+    // (The benign row's fallback rate is a Lemma 10 "w.h.p." residual.)
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e7_benign_fallbacks_are_rare() {
+        let tables = super::run(false);
+        let t = &tables[0];
+        assert_eq!(t.cell(0, 0), "0.000");
+        let confirmed: f64 = t.cell(0, 6).parse().unwrap();
+        let fallbacks: f64 = t.cell(0, 7).parse().unwrap();
+        // Lemma 10 is a w.h.p. statement: at n=16 a sub-2% residual rate is
+        // consistent; the benign pipeline must confirm the overwhelming
+        // majority without the fallback.
+        assert!(
+            fallbacks <= 0.02 * (confirmed + fallbacks).max(1.0),
+            "benign fallback rate too high: {fallbacks} of {}",
+            confirmed + fallbacks
+        );
+        assert_eq!(t.cell(0, 3), "100.0");
+    }
+}

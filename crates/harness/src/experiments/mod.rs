@@ -1,0 +1,48 @@
+//! One module per experiment (ids match DESIGN.md §4 and EXPERIMENTS.md).
+
+pub mod e10_metadata_hiding;
+pub mod e11_communication;
+pub mod e12_adaptivity;
+pub mod e1_strong_confidentiality;
+pub mod e2_correctness;
+pub mod e3_complexity;
+pub mod e4_partitions;
+pub mod e5_collusion_lb;
+pub mod e6_collusion_cost;
+pub mod e7_churn;
+pub mod e8_baselines;
+pub mod e9_ablation;
+
+use crate::table::Table;
+
+/// Runs every experiment at the given scale and returns all tables.
+///
+/// Experiments are deterministic and independent, so they execute on
+/// parallel threads; the returned tables keep the E1..E11 order.
+pub fn run_all(full: bool) -> Vec<Table> {
+    let jobs: Vec<fn(bool) -> Vec<Table>> = vec![
+        e1_strong_confidentiality::run,
+        e2_correctness::run,
+        e3_complexity::run,
+        e4_partitions::run,
+        e5_collusion_lb::run,
+        e6_collusion_cost::run,
+        e7_churn::run,
+        e8_baselines::run,
+        e9_ablation::run,
+        e10_metadata_hiding::run,
+        e11_communication::run,
+        e12_adaptivity::run,
+    ];
+    let mut results: Vec<Vec<Table>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|job| scope.spawn(move || job(full)))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("experiment thread"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}

@@ -1,0 +1,39 @@
+//! # congos-harness — experiments reproducing the paper's claims
+//!
+//! *Confidential Gossip* is a theory paper: its "evaluation" is a set of
+//! theorems and lemmas. This crate turns each quantitative claim into a
+//! measurable experiment over the simulator, and prints the tables recorded
+//! in `EXPERIMENTS.md`. Experiment ids match DESIGN.md §4:
+//!
+//! | id | claim |
+//! |----|-------|
+//! | E1 | Theorem 1 — the price of strong confidentiality |
+//! | E2 | Theorem 2 — confidentiality + Quality of Delivery, always |
+//! | E3 | Lemma 7 / Theorem 11 — per-round message complexity |
+//! | E4 | Lemma 5 / Lemma 13 — partition goodness |
+//! | E5 | Theorem 12 — collusion lower bound (border messages) |
+//! | E6 | Theorem 16 — the `τ²` cost of collusion tolerance |
+//! | E7 | Robustness — QoD and fallback rate under churn |
+//! | E8 | Alternative approaches — CONGOS vs direct/crypto/epidemic |
+//! | E9 | Ablations — partitions, fanout constants, substrate strategy |
+//! | E10 | Section 7 — metadata-hiding costs |
+//! | E11 | Section 7 — communication complexity in bytes |
+//! | E12 | Section 7 — adaptive vs oblivious adversary power |
+//!
+//! Run any experiment with `cargo run --release -p congos-harness --bin
+//! exp_e1` (etc.), or all of them with `exp_all`. Pass `--full` for the
+//! larger sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod run;
+pub mod stats;
+pub mod system;
+pub mod table;
+
+pub use run::{run, run_with_factory, DeliveryRecord, Logged, QodSummary, RunOutcome, RunSpec};
+pub use stats::{fit_power_law, percentile};
+pub use system::GossipSystem;
+pub use table::{tables_to_markdown, Table};

@@ -1,0 +1,237 @@
+//! Generic experiment runner with Quality-of-Delivery accounting.
+
+use congos_adversary::{
+    CrriAdversary, FailurePlan, InjectionLogEntry, InjectionPlan, OneShot, PoissonWorkload,
+    RumorSpec, StableGroupWorkload, Theorem1Workload,
+};
+use congos_sim::{Engine, EngineConfig, Metrics, ProcessId, Round};
+
+use crate::system::GossipSystem;
+
+/// Access to the injections a workload has emitted (for QoD accounting).
+pub trait Logged {
+    /// Entries emitted so far.
+    fn entries(&self) -> &[InjectionLogEntry];
+}
+
+impl Logged for OneShot {
+    fn entries(&self) -> &[InjectionLogEntry] {
+        self.log()
+    }
+}
+
+impl Logged for PoissonWorkload {
+    fn entries(&self) -> &[InjectionLogEntry] {
+        self.log()
+    }
+}
+
+impl Logged for Theorem1Workload {
+    fn entries(&self) -> &[InjectionLogEntry] {
+        self.log()
+    }
+}
+
+impl Logged for StableGroupWorkload {
+    fn entries(&self) -> &[InjectionLogEntry] {
+        self.log()
+    }
+}
+
+/// Parameters of one run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSpec {
+    /// Number of processes.
+    pub n: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Rounds to execute.
+    pub rounds: u64,
+}
+
+/// A delivery, correlated by workload id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Workload rumor id.
+    pub wid: u64,
+    /// Receiving process.
+    pub process: ProcessId,
+    /// Round of delivery.
+    pub round: Round,
+}
+
+/// Quality-of-Delivery classification of (rumor, destination) pairs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QodSummary {
+    /// Pairs where source and destination were continuously alive.
+    pub admissible: usize,
+    /// Admissible pairs delivered by the deadline.
+    pub on_time: usize,
+    /// Admissible pairs delivered after the deadline (a QoD violation!).
+    pub late: usize,
+    /// Admissible pairs never delivered (a QoD violation!).
+    pub missed: usize,
+    /// Pairs exempted by crashes (not admissible).
+    pub inadmissible: usize,
+}
+
+impl QodSummary {
+    /// `true` when every admissible pair was delivered on time.
+    pub fn perfect(&self) -> bool {
+        self.late == 0 && self.missed == 0
+    }
+
+    /// On-time fraction over admissible pairs (1.0 when none).
+    pub fn on_time_rate(&self) -> f64 {
+        if self.admissible == 0 {
+            1.0
+        } else {
+            self.on_time as f64 / self.admissible as f64
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Protocol display name.
+    pub name: &'static str,
+    /// Per-round, per-tag message metrics.
+    pub metrics: Metrics,
+    /// All deliveries.
+    pub deliveries: Vec<DeliveryRecord>,
+    /// All injections the workload emitted.
+    pub injections: Vec<InjectionLogEntry>,
+    /// QoD classification.
+    pub qod: QodSummary,
+    /// Crash events that occurred.
+    pub crashes: usize,
+    /// Delivery latencies (rounds from injection to first delivery) of the
+    /// admissible pairs that were delivered.
+    pub latencies: Vec<u64>,
+}
+
+impl RunOutcome {
+    /// The `p`-th latency percentile in rounds (0 when nothing delivered).
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        crate::stats::percentile(&self.latencies, p)
+    }
+}
+
+/// Runs protocol `P` (default construction) under the given failure and
+/// injection plans.
+pub fn run<P, F, W>(spec: RunSpec, failures: F, workload: W) -> RunOutcome
+where
+    P: GossipSystem,
+    P::Input: From<RumorSpec>,
+    F: FailurePlan,
+    W: InjectionPlan + Logged,
+{
+    run_with_factory(spec, P::new, failures, workload)
+}
+
+/// Runs protocol `P` built by `factory` (for configured deployments).
+pub fn run_with_factory<P, F, W>(
+    spec: RunSpec,
+    factory: impl Fn(ProcessId, usize, u64) -> P + 'static,
+    failures: F,
+    workload: W,
+) -> RunOutcome
+where
+    P: GossipSystem,
+    P::Input: From<RumorSpec>,
+    F: FailurePlan,
+    W: InjectionPlan + Logged,
+{
+    let mut engine =
+        Engine::<P>::with_factory(EngineConfig::new(spec.n).seed(spec.seed), factory);
+    let mut adv = CrriAdversary::new(failures, workload);
+    engine.run(spec.rounds, &mut adv);
+
+    let deliveries: Vec<DeliveryRecord> = engine
+        .outputs()
+        .iter()
+        .map(|o| DeliveryRecord {
+            wid: P::wid_of(&o.value),
+            process: o.process,
+            round: o.round,
+        })
+        .collect();
+    let injections = adv.workload().entries().to_vec();
+
+    let mut qod = QodSummary::default();
+    let mut latencies = Vec::new();
+    for entry in &injections {
+        let t = entry.round;
+        let end = t + entry.spec.deadline;
+        let src_ok = engine.liveness().continuously_alive(entry.source, t, end);
+        for d in &entry.spec.dest {
+            if !src_ok || !engine.liveness().continuously_alive(*d, t, end) {
+                qod.inadmissible += 1;
+                continue;
+            }
+            qod.admissible += 1;
+            let best = deliveries
+                .iter()
+                .filter(|r| r.wid == entry.spec.id && r.process == *d)
+                .map(|r| r.round)
+                .min();
+            match best {
+                Some(r) if r <= end => {
+                    qod.on_time += 1;
+                    latencies.push(r - t);
+                }
+                Some(_) => qod.late += 1,
+                None => qod.missed += 1,
+            }
+        }
+    }
+
+    RunOutcome {
+        name: P::NAME,
+        metrics: engine.metrics().clone(),
+        deliveries,
+        injections,
+        qod,
+        crashes: engine.liveness().crash_count(),
+        latencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congos_adversary::{NoFailures, RandomChurn};
+    use congos_baselines::DirectNode;
+    use congos_gossip::GossipNode;
+
+    #[test]
+    fn direct_run_is_perfect() {
+        let spec = RunSpec {
+            n: 8,
+            seed: 1,
+            rounds: 40,
+        };
+        let w = PoissonWorkload::new(0.1, 3, 16, 2).until(Round(20));
+        let out = run::<DirectNode, _, _>(spec, NoFailures, w);
+        assert!(out.qod.perfect());
+        assert!(out.qod.admissible > 0);
+        assert_eq!(out.crashes, 0);
+        assert_eq!(out.name, "direct");
+    }
+
+    #[test]
+    fn qod_accounts_churn_exemptions() {
+        let spec = RunSpec {
+            n: 12,
+            seed: 3,
+            rounds: 96,
+        };
+        let w = PoissonWorkload::new(0.05, 3, 32, 4).until(Round(60));
+        let churn = RandomChurn::new(0.01, 0.2, 5);
+        let out = run::<GossipNode, _, _>(spec, churn, w);
+        assert!(out.crashes > 0);
+        assert!(out.qod.perfect(), "substrate QoD must hold: {:?}", out.qod);
+        assert!(out.qod.inadmissible > 0, "churn should exempt some pairs");
+    }
+}

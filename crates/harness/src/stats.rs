@@ -1,0 +1,84 @@
+//! Small statistics helpers for experiment tables.
+
+/// Least-squares slope of `ln(y)` against `ln(x)` — the empirical exponent
+/// `b` of a power law `y ≈ a·x^b`. Points with non-positive coordinates are
+/// skipped; returns 0 when fewer than two usable points remain.
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> f64 {
+    let pts: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| **x > 0.0 && **y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+    let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    }
+}
+
+/// The `p`-th percentile (0–100) of a sample, by nearest-rank; 0 for empty
+/// input.
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(samples: &[u64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<u64>() as f64 / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let xs: Vec<f64> = (1..=6).map(|i| (1 << i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(1.5)).collect();
+        let b = fit_power_law(&xs, &ys);
+        assert!((b - 1.5).abs() < 1e-9, "got {b}");
+    }
+
+    #[test]
+    fn power_law_handles_degenerate_input() {
+        assert_eq!(fit_power_law(&[], &[]), 0.0);
+        assert_eq!(fit_power_law(&[1.0], &[2.0]), 0.0);
+        assert_eq!(fit_power_law(&[1.0, 1.0], &[2.0, 4.0]), 0.0);
+        assert_eq!(fit_power_law(&[0.0, -1.0], &[2.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [10u64, 20, 30, 40, 50];
+        assert_eq!(percentile(&s, 0.0), 10);
+        assert_eq!(percentile(&s, 50.0), 30);
+        assert_eq!(percentile(&s, 100.0), 50);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[1, 2, 3]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

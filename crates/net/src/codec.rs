@@ -1,0 +1,167 @@
+//! Wire framing: length-prefixed JSON.
+//!
+//! JSON keeps the demo runtime dependency-light and debuggable (you can
+//! `tcpdump` a round and read it); a production deployment would swap in a
+//! binary codec behind the same two functions.
+
+use std::io::{self, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use congos::CongosMsg;
+use congos_sim::ProcessId;
+
+/// One framed unit on the wire.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WireFrame {
+    /// A protocol message for this node, sent in round `round`.
+    Msg {
+        /// Sending process.
+        src: ProcessId,
+        /// Round number.
+        round: u64,
+        /// Sending service's tag name (resolved via
+        /// [`congos::tag_by_name`] on receipt).
+        tag: String,
+        /// The protocol payload.
+        payload: CongosMsg,
+    },
+    /// "I have sent everything I will send in round `round`."
+    EndOfRound {
+        /// Sending process.
+        src: ProcessId,
+        /// Round number.
+        round: u64,
+    },
+}
+
+/// Writes one frame: a little-endian `u32` length followed by JSON bytes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer; serialization of [`WireFrame`]
+/// itself cannot fail.
+pub fn encode_frame<W: Write>(w: &mut W, frame: &WireFrame) -> io::Result<()> {
+    let bytes = serde_json::to_vec(frame).expect("WireFrame serializes");
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&bytes)
+}
+
+/// Reads one frame written by [`encode_frame`].
+///
+/// # Errors
+///
+/// Returns the underlying I/O error (including clean EOF as
+/// `UnexpectedEof`) or an `InvalidData` error for malformed JSON.
+pub fn decode_frame<R: Read>(r: &mut R) -> io::Result<WireFrame> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    serde_json::from_slice(&buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congos::{CongosMsg, CongosRumorId, Rumor};
+    use congos_sim::{IdSet, Round};
+
+    fn sample_msg() -> CongosMsg {
+        CongosMsg::Shoot {
+            rumor: Rumor {
+                wid: 9,
+                data: vec![1, 2, 3],
+                deadline: 64,
+                dest: IdSet::from_iter(8, [ProcessId::new(3)]),
+            },
+            rid: CongosRumorId {
+                source: ProcessId::new(0),
+                birth: Round(5),
+                seq: 0,
+            },
+            direct: false,
+        }
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let frame = WireFrame::Msg {
+            src: ProcessId::new(1),
+            round: 7,
+            tag: "shoot".into(),
+            payload: sample_msg(),
+        };
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, &frame).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let back = decode_frame(&mut cursor).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn eor_round_trip_and_stream() {
+        let mut buf = Vec::new();
+        for r in 0..3u64 {
+            encode_frame(
+                &mut buf,
+                &WireFrame::EndOfRound {
+                    src: ProcessId::new(2),
+                    round: r,
+                },
+            )
+            .unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for r in 0..3u64 {
+            match decode_frame(&mut cursor).unwrap() {
+                WireFrame::EndOfRound { src, round } => {
+                    assert_eq!(src, ProcessId::new(2));
+                    assert_eq!(round, r);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(decode_frame(&mut cursor).is_err(), "clean EOF errors out");
+    }
+
+    #[test]
+    fn gossip_wire_serializes_through_arc() {
+        // The Arc-shared gossip payloads must survive the codec (serde "rc").
+        use congos::messages::GossipLane;
+        use congos::GossipPayload;
+        use congos_gossip::{GossipRumor, GossipWire, RumorId};
+        use std::sync::Arc;
+        let rumor = GossipRumor {
+            id: RumorId {
+                origin: ProcessId::new(0),
+                birth: Round(1),
+                seq: 0,
+            },
+            payload: Arc::new(GossipPayload::ProxyMeta {
+                failed_proxies: vec![ProcessId::new(3)],
+            }),
+            duration: 8,
+            deadline: Round(9),
+            dest: IdSet::from_iter(4, [ProcessId::new(1)]),
+        };
+        let msg = CongosMsg::Gossip {
+            lane: GossipLane::All { dline: 64 },
+            wire: Box::new(GossipWire::Push(Arc::new(vec![rumor]))),
+        };
+        let frame = WireFrame::Msg {
+            src: ProcessId::new(0),
+            round: 1,
+            tag: "all_gossip".into(),
+            payload: msg,
+        };
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, &frame).unwrap();
+        let back = decode_frame(&mut std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, frame);
+    }
+}

@@ -1,0 +1,471 @@
+//! The bulk-synchronous TCP cluster runtime.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use congos::{tag_by_name, CongosConfig, CongosInput, CongosNode, DeliveredRumor};
+use congos_sim::rng::{fork_rng, fork_seed};
+use congos_sim::{Context, Envelope, OutputRecord, ProcessId, Protocol, Round, Tag};
+
+use crate::codec::{decode_frame, encode_frame, WireFrame};
+
+/// Configuration of a localhost CONGOS cluster.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    n: usize,
+    base_port: u16,
+    seed: u64,
+    rounds: u64,
+    congos: CongosConfig,
+}
+
+impl NetConfig {
+    /// A cluster of `n` nodes listening on `base_port..base_port+n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the port range would overflow.
+    pub fn new(n: usize, base_port: u16) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(
+            base_port.checked_add(n as u16).is_some(),
+            "port range overflow"
+        );
+        NetConfig {
+            n,
+            base_port,
+            seed: 0,
+            rounds: 1,
+            congos: CongosConfig::base(),
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of rounds.
+    pub fn rounds(mut self, rounds: u64) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the CONGOS protocol configuration.
+    pub fn congos(mut self, cfg: CongosConfig) -> Self {
+        self.congos = cfg;
+        self
+    }
+}
+
+/// Result of a cluster run.
+#[derive(Debug)]
+pub struct NetReport {
+    /// Every delivered rumor, ordered by `(round, process)`.
+    pub deliveries: Vec<OutputRecord<DeliveredRumor>>,
+    /// Total protocol messages sent over sockets (excluding round markers
+    /// and local self-deliveries).
+    pub messages: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+}
+
+type Writers = Vec<Option<BufWriter<TcpStream>>>;
+
+/// Runs a CONGOS cluster over localhost TCP to completion.
+///
+/// `injections` schedules rumors as `(round, process, input)`; at most one
+/// injection per process per round (the model's rule).
+///
+/// # Errors
+///
+/// Returns any socket-level error (bind, connect, serialize) encountered
+/// while running the cluster.
+pub fn run_cluster(
+    cfg: NetConfig,
+    injections: Vec<(u64, ProcessId, CongosInput)>,
+) -> io::Result<NetReport> {
+    let n = cfg.n;
+
+    // Bind all listeners up front so dialing cannot race the binds.
+    let mut listeners = Vec::with_capacity(n);
+    for i in 0..n {
+        let l = TcpListener::bind(("127.0.0.1", cfg.base_port + i as u16))?;
+        listeners.push(l);
+    }
+
+    let mut per_node_inj: Vec<Vec<(u64, CongosInput)>> = (0..n).map(|_| Vec::new()).collect();
+    for (round, pid, input) in injections {
+        per_node_inj[pid.as_usize()].push((round, input));
+    }
+
+    let outputs = Arc::new(Mutex::new(Vec::<OutputRecord<DeliveredRumor>>::new()));
+    let messages = Arc::new(Mutex::new(0u64));
+    let errors = Arc::new(Mutex::new(Vec::<io::Error>::new()));
+
+    std::thread::scope(|scope| {
+        for (i, (listener, mut my_inj)) in
+            listeners.into_iter().zip(per_node_inj).enumerate()
+        {
+            my_inj.sort_by_key(|(r, _)| *r);
+            let cfg = cfg.clone();
+            let outputs = Arc::clone(&outputs);
+            let messages = Arc::clone(&messages);
+            let errors = Arc::clone(&errors);
+            scope.spawn(move || {
+                if let Err(e) = node_main(i, listener, cfg, my_inj, &outputs, &messages) {
+                    errors.lock().push(e);
+                }
+            });
+        }
+    });
+
+    if let Some(e) = errors.lock().pop() {
+        return Err(e);
+    }
+    let mut outs = Arc::try_unwrap(outputs)
+        .unwrap_or_else(|_| unreachable!("threads joined"))
+        .into_inner();
+    outs.sort_by_key(|o| (o.round, o.process));
+    let messages = *messages.lock();
+    Ok(NetReport {
+        deliveries: outs,
+        messages,
+        rounds: cfg.rounds,
+    })
+}
+
+/// Runs ONE node of a cluster in the calling process — the entry point for
+/// true multi-process deployment (see the `congos-node` binary). Blocks
+/// until `rounds` complete and returns this node's deliveries.
+///
+/// # Errors
+///
+/// Returns socket-level errors (bind/connect/serialize).
+pub fn run_node_process(
+    id: usize,
+    n: usize,
+    base_port: u16,
+    rounds: u64,
+    seed: u64,
+    injections: Vec<(u64, CongosInput)>,
+) -> io::Result<Vec<OutputRecord<DeliveredRumor>>> {
+    let cfg = NetConfig::new(n, base_port).rounds(rounds).seed(seed);
+    let listener = TcpListener::bind(("127.0.0.1", base_port + id as u16))?;
+    let outputs = Mutex::new(Vec::new());
+    let messages = Mutex::new(0u64);
+    node_main(id, listener, cfg, injections, &outputs, &messages)?;
+    let mut outs = outputs.into_inner();
+    outs.sort_by_key(|o| (o.round, o.process));
+    Ok(outs)
+}
+
+fn node_main(
+    i: usize,
+    listener: TcpListener,
+    cfg: NetConfig,
+    mut my_inj: Vec<(u64, CongosInput)>,
+    outputs: &Mutex<Vec<OutputRecord<DeliveredRumor>>>,
+    messages: &Mutex<u64>,
+) -> io::Result<()> {
+    let n = cfg.n;
+    let me = ProcessId::new(i);
+
+    // Inbound: accept n−1 peers; each gets a reader thread feeding one
+    // channel of frames.
+    let (frame_tx, frame_rx): (Sender<WireFrame>, Receiver<WireFrame>) = unbounded();
+    if n > 1 {
+        let accept_tx = frame_tx.clone();
+        let accept_handle = std::thread::spawn(move || -> io::Result<Vec<_>> {
+            let mut handles = Vec::new();
+            for _ in 0..n - 1 {
+                let (stream, _) = listener.accept()?;
+                stream.set_nodelay(true).ok();
+                let tx = accept_tx.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream);
+                    while let Ok(frame) = decode_frame(&mut reader) {
+                        if tx.send(frame).is_err() {
+                            break;
+                        }
+                    }
+                }));
+            }
+            Ok(handles)
+        });
+
+        // Outbound: dial every peer (retrying while they come up).
+        let mut writers: Writers = (0..n).map(|_| None).collect();
+        for (j, slot) in writers.iter_mut().enumerate() {
+            if j == i {
+                continue;
+            }
+            let addr = ("127.0.0.1", cfg.base_port + j as u16);
+            let stream = loop {
+                match TcpStream::connect(addr) {
+                    Ok(s) => break s,
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            };
+            stream.set_nodelay(true).ok();
+            *slot = Some(BufWriter::new(stream));
+        }
+        let mut reader_handles = accept_handle.join().expect("accept thread")?;
+
+        return node_rounds(
+            me,
+            n,
+            &cfg,
+            &mut my_inj,
+            writers,
+            frame_rx,
+            outputs,
+            messages,
+        )
+        .map(|_| {
+            drop(frame_tx);
+            for h in reader_handles.drain(..) {
+                let _ = h.join();
+            }
+        });
+    }
+
+    // Single-node cluster: no sockets at all.
+    drop(frame_tx);
+    node_rounds(
+        me,
+        n,
+        &cfg,
+        &mut my_inj,
+        Vec::new(),
+        frame_rx,
+        outputs,
+        messages,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn node_rounds(
+    me: ProcessId,
+    n: usize,
+    cfg: &NetConfig,
+    my_inj: &mut Vec<(u64, CongosInput)>,
+    mut writers: Writers,
+    frame_rx: Receiver<WireFrame>,
+    outputs: &Mutex<Vec<OutputRecord<DeliveredRumor>>>,
+    messages: &Mutex<u64>,
+) -> io::Result<()> {
+    let mut node = CongosNode::with_config(me, n, cfg.congos.clone());
+    node.on_start(Round::ZERO);
+    let mut rng = fork_rng(cfg.seed, me, 0);
+    let _ = fork_seed(cfg.seed, me, 0);
+    let mut pending: Vec<(ProcessId, congos::CongosMsg, Tag)> = Vec::new();
+    let mut local_outputs: Vec<OutputRecord<DeliveredRumor>> = Vec::new();
+    let mut carried: VecDeque<WireFrame> = VecDeque::new();
+    let mut sent = 0u64;
+
+    for r in 0..cfg.rounds {
+        let round = Round(r);
+        // Send phase.
+        {
+            let mut ctx = Context::<CongosNode>::for_runtime(
+                me,
+                n,
+                round,
+                &mut rng,
+                &mut pending,
+                &mut local_outputs,
+            );
+            node.send(&mut ctx);
+        }
+        let mut self_inbox: Vec<Envelope<congos::CongosMsg>> = Vec::new();
+        for (dst, payload, tag) in pending.drain(..) {
+            if dst == me {
+                self_inbox.push(Envelope {
+                    src: me,
+                    dst,
+                    round,
+                    tag,
+                    payload,
+                });
+                continue;
+            }
+            sent += 1;
+            let frame = WireFrame::Msg {
+                src: me,
+                round: r,
+                tag: tag.name().to_string(),
+                payload,
+            };
+            let w = writers[dst.as_usize()]
+                .as_mut()
+                .expect("writer for peer exists");
+            encode_frame(w, &frame)?;
+        }
+        for w in writers.iter_mut().flatten() {
+            encode_frame(w, &WireFrame::EndOfRound { src: me, round: r })?;
+            w.flush()?;
+        }
+
+        // Barrier: collect this round's frames until n−1 markers. Frames
+        // from future rounds (peers may run one superstep ahead) are parked
+        // in `carried`; the parked queue is scanned once per round — never
+        // re-polled inside the same round, which would spin.
+        let mut inbox = self_inbox;
+        let mut eor = 0usize;
+        let classify = |frame: WireFrame,
+                            inbox: &mut Vec<Envelope<congos::CongosMsg>>,
+                            eor: &mut usize|
+         -> Option<WireFrame> {
+            match frame {
+                WireFrame::Msg {
+                    src,
+                    round: fr,
+                    tag,
+                    payload,
+                } if fr == r => {
+                    inbox.push(Envelope {
+                        src,
+                        dst: me,
+                        round,
+                        tag: tag_by_name(&tag).unwrap_or(Tag("remote")),
+                        payload,
+                    });
+                    None
+                }
+                WireFrame::EndOfRound { round: fr, .. } if fr == r => {
+                    *eor += 1;
+                    None
+                }
+                future => Some(future),
+            }
+        };
+        for frame in std::mem::take(&mut carried) {
+            if let Some(f) = classify(frame, &mut inbox, &mut eor) {
+                carried.push_back(f);
+            }
+        }
+        while eor < n - 1 {
+            let frame = frame_rx
+                .recv()
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))?;
+            if let Some(f) = classify(frame, &mut inbox, &mut eor) {
+                carried.push_back(f);
+            }
+        }
+        inbox.sort_by_key(|e| e.src);
+
+        // Compute phase.
+        let input = match my_inj.first() {
+            Some((due, _)) if *due == r => Some(my_inj.remove(0).1),
+            _ => None,
+        };
+        let mut ctx = Context::<CongosNode>::for_runtime(
+            me,
+            n,
+            round,
+            &mut rng,
+            &mut pending,
+            &mut local_outputs,
+        );
+        node.receive(&mut ctx, &inbox, input);
+    }
+
+    outputs.lock().extend(local_outputs);
+    *messages.lock() += sent;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rumor_delivered_over_real_sockets() {
+        let report = run_cluster(
+            NetConfig::new(4, 18510).rounds(70).seed(3),
+            vec![(
+                0,
+                ProcessId::new(0),
+                CongosInput {
+                    wid: 0,
+                    data: b"tcp".to_vec(),
+                    deadline: 64,
+                    dest: vec![ProcessId::new(2), ProcessId::new(3)],
+                },
+            )],
+        )
+        .expect("cluster run");
+        assert_eq!(report.deliveries.len(), 2);
+        for d in &report.deliveries {
+            assert_eq!(d.value.data, b"tcp".to_vec());
+            assert!(d.round.as_u64() <= 64);
+        }
+        assert!(report.messages > 0);
+    }
+
+    #[test]
+    fn multiple_sources_and_rounds() {
+        let report = run_cluster(
+            NetConfig::new(5, 18530).rounds(80).seed(4),
+            vec![
+                (
+                    0,
+                    ProcessId::new(0),
+                    CongosInput {
+                        wid: 0,
+                        data: vec![1],
+                        deadline: 64,
+                        dest: vec![ProcessId::new(4)],
+                    },
+                ),
+                (
+                    5,
+                    ProcessId::new(1),
+                    CongosInput {
+                        wid: 1,
+                        data: vec![2],
+                        deadline: 64,
+                        dest: vec![ProcessId::new(3), ProcessId::new(4)],
+                    },
+                ),
+            ],
+        )
+        .expect("cluster run");
+        assert_eq!(report.deliveries.len(), 3);
+        let w1: Vec<_> = report
+            .deliveries
+            .iter()
+            .filter(|d| d.value.wid == 1)
+            .collect();
+        assert_eq!(w1.len(), 2);
+        assert!(w1.iter().all(|d| d.round.as_u64() <= 5 + 64));
+    }
+
+    #[test]
+    fn single_node_cluster() {
+        let report = run_cluster(
+            NetConfig::new(1, 18550).rounds(4),
+            vec![(
+                0,
+                ProcessId::new(0),
+                CongosInput {
+                    wid: 0,
+                    data: vec![7],
+                    deadline: 16,
+                    dest: vec![ProcessId::new(0)],
+                },
+            )],
+        )
+        .expect("cluster run");
+        assert_eq!(report.deliveries.len(), 1);
+        assert_eq!(report.messages, 0);
+    }
+}

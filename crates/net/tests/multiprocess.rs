@@ -1,0 +1,51 @@
+//! True multi-process deployment: spawn one OS process per node via the
+//! `congos-node` binary and check the rumor crosses process boundaries.
+
+use std::process::{Command, Stdio};
+
+#[test]
+fn four_os_processes_deliver_a_rumor() {
+    let bin = env!("CARGO_BIN_EXE_congos-node");
+    let n = 4;
+    let base_port = 19400;
+    let mut children = Vec::new();
+    for id in 0..n {
+        let mut cmd = Command::new(bin);
+        cmd.args([
+            "--id",
+            &id.to_string(),
+            "--n",
+            &n.to_string(),
+            "--base-port",
+            &base_port.to_string(),
+            "--rounds",
+            "70",
+            "--seed",
+            "9",
+        ]);
+        if id == 0 {
+            // "hi!" to processes 2 and 3, injected at round 0.
+            cmd.args(["--inject", "0:2,3:686921"]);
+        }
+        cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+        children.push((id, cmd.spawn().expect("spawn node")));
+    }
+
+    let mut delivered = Vec::new();
+    for (id, child) in children {
+        let out = child.wait_with_output().expect("node exits");
+        assert!(
+            out.status.success(),
+            "node {id} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        for line in stdout.lines() {
+            if line.contains("delivered wid=0") {
+                delivered.push(id);
+            }
+        }
+    }
+    delivered.sort_unstable();
+    assert_eq!(delivered, vec![2, 3], "exactly the two destinations deliver");
+}

@@ -1,0 +1,1057 @@
+//! The lock-step round engine and the CRRI adversary interface.
+//!
+//! Round structure (matching Section 2 of the paper):
+//!
+//! 1. **Send phase** — every alive process runs [`Protocol::send`]; its
+//!    queued messages become this round's outbox. All random choices for the
+//!    round are made here.
+//! 2. **Adversary phase** — the [`Adversary`] observes the execution so far
+//!    *and this round's outboxes* (it is adaptive and omniscient), then
+//!    chooses crashes, restarts and rumor injections. For a process crashing
+//!    this round it picks which of that process's sent messages survive; for
+//!    a process restarting this round it picks which incoming messages are
+//!    delivered.
+//! 3. **Delivery phase** — surviving messages are delivered to processes
+//!    that are alive at the end of the round.
+//! 4. **Compute phase** — every alive process runs [`Protocol::receive`]
+//!    with its inbox and any injected input.
+//!
+//! Restarted processes are reset to `Protocol::new(..)` (no durable storage)
+//! and are told the current global round via [`Protocol::on_start`].
+
+use rand::rngs::SmallRng;
+
+use crate::clock::Round;
+use crate::liveness::LivenessLog;
+use crate::message::{Envelope, Tag};
+use crate::metrics::Metrics;
+use crate::process::{ProcessId, ProcessState};
+use crate::rng::fork_rng;
+
+/// A synchronous message-passing protocol run by every process.
+///
+/// All processes run the same protocol type; per-process behavior derives
+/// from the [`ProcessId`] passed to [`new`](Protocol::new).
+pub trait Protocol: Sized {
+    /// Message payload type.
+    type Msg: Clone;
+    /// Input injected by the adversary (a rumor, for gossip protocols).
+    type Input;
+    /// Output delivered to the local user (a reassembled rumor).
+    type Output;
+
+    /// Default initial state — used both at round 0 and after every restart
+    /// (processes have no durable storage). `seed` is a fresh deterministic
+    /// seed for this incarnation.
+    fn new(id: ProcessId, n: usize, seed: u64) -> Self;
+
+    /// Called once right after `new`, with the current global round (the
+    /// only information a restarted process may consult).
+    fn on_start(&mut self, _round: Round) {}
+
+    /// Send phase: queue messages via [`Context::send`]. Random choices made
+    /// here are visible to the adaptive adversary.
+    fn send(&mut self, ctx: &mut Context<'_, Self>);
+
+    /// Compute phase: process the messages received this round and any
+    /// injected input. Messages queued here are sent next round.
+    fn receive(
+        &mut self,
+        ctx: &mut Context<'_, Self>,
+        inbox: &[Envelope<Self::Msg>],
+        input: Option<Self::Input>,
+    );
+
+    /// Estimated wire size of a message payload in bytes, used for the
+    /// per-round *communication* complexity metrics (Section 7 of the
+    /// paper discusses bits, not just message counts). Defaults to 0 —
+    /// protocols that want byte metering override this.
+    fn msg_size(_msg: &Self::Msg) -> u64 {
+        0
+    }
+}
+
+/// Per-process execution context handed to [`Protocol`] callbacks.
+pub struct Context<'a, P: Protocol> {
+    id: ProcessId,
+    n: usize,
+    round: Round,
+    rng: &'a mut SmallRng,
+    pending: &'a mut Vec<(ProcessId, P::Msg, Tag)>,
+    outputs: &'a mut Vec<OutputRecord<P::Output>>,
+}
+
+impl<'a, P: Protocol> Context<'a, P> {
+    /// Constructs a context for an alternative runtime (a threaded or
+    /// networked backend driving [`Protocol`] implementations outside the
+    /// lock-step engine). Runtimes are responsible for draining `pending`
+    /// after the send phase and routing the messages themselves.
+    pub fn for_runtime(
+        id: ProcessId,
+        n: usize,
+        round: Round,
+        rng: &'a mut SmallRng,
+        pending: &'a mut Vec<(ProcessId, P::Msg, Tag)>,
+        outputs: &'a mut Vec<OutputRecord<P::Output>>,
+    ) -> Self {
+        Context {
+            id,
+            n,
+            round,
+            rng,
+            pending,
+            outputs,
+        }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current global round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// This incarnation's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Queues a point-to-point message. During the send phase it goes out
+    /// this round; during the compute phase it goes out next round.
+    ///
+    /// Self-sends are delivered like any other message.
+    pub fn send(&mut self, dst: ProcessId, msg: P::Msg, tag: Tag) {
+        debug_assert!(dst.as_usize() < self.n, "send to unknown process {dst}");
+        self.pending.push((dst, msg, tag));
+    }
+
+    /// Delivers an output to the local user (recorded by the engine).
+    pub fn output(&mut self, out: P::Output) {
+        self.outputs.push(OutputRecord {
+            round: self.round,
+            process: self.id,
+            value: out,
+        });
+    }
+
+    /// Iterates over every process id in the system (including self).
+    pub fn all_processes(&self) -> impl Iterator<Item = ProcessId> {
+        ProcessId::all(self.n)
+    }
+}
+
+/// An output delivered by some process, stamped with time and place.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutputRecord<O> {
+    /// Round of delivery.
+    pub round: Round,
+    /// Delivering process.
+    pub process: ProcessId,
+    /// The delivered value.
+    pub value: O,
+}
+
+/// Metadata of one queued message, visible to the adaptive adversary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutboxMeta {
+    /// Sender.
+    pub src: ProcessId,
+    /// Receiver.
+    pub dst: ProcessId,
+    /// Sending service.
+    pub tag: Tag,
+}
+
+/// The adversary's view of the current round, presented *after* the send
+/// phase — so its decisions may depend on the round's random choices, as the
+/// CRRI adversary of the paper does.
+#[derive(Debug)]
+pub struct RoundView<'a> {
+    /// Current round.
+    pub round: Round,
+    /// `alive[p]` — liveness at the start of the round.
+    pub alive: &'a [bool],
+    /// Every message queued this round.
+    pub outbox: &'a [OutboxMeta],
+}
+
+impl RoundView<'_> {
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Ids of processes alive at the start of the round.
+    pub fn alive_ids(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a)
+            .map(|(i, _)| ProcessId::new(i))
+    }
+}
+
+/// What happens to the messages already sent by a process that crashes this
+/// round (the paper: "some of the messages sent by p in round t may be
+/// delivered, and some may be lost" — the adversary chooses).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum SentPolicy {
+    /// All of the crashing process's round-`t` messages are delivered.
+    DeliverAll,
+    /// All are lost (the default, and the strongest attack).
+    #[default]
+    DropAll,
+    /// Only messages to the listed destinations are delivered.
+    DeliverOnlyTo(Vec<ProcessId>),
+}
+
+impl SentPolicy {
+    fn allows(&self, dst: ProcessId) -> bool {
+        match self {
+            SentPolicy::DeliverAll => true,
+            SentPolicy::DropAll => false,
+            SentPolicy::DeliverOnlyTo(set) => set.contains(&dst),
+        }
+    }
+}
+
+/// What happens to messages addressed to a process restarting this round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum IncomingPolicy {
+    /// All messages sent to the restarting process this round are delivered.
+    DeliverAll,
+    /// All are lost (the default).
+    #[default]
+    DropAll,
+    /// Only messages from the listed sources are delivered.
+    DeliverOnlyFrom(Vec<ProcessId>),
+}
+
+impl IncomingPolicy {
+    fn allows(&self, src: ProcessId) -> bool {
+        match self {
+            IncomingPolicy::DeliverAll => true,
+            IncomingPolicy::DropAll => false,
+            IncomingPolicy::DeliverOnlyFrom(set) => set.contains(&src),
+        }
+    }
+}
+
+/// A crash decision for one process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Victim (must be alive; at most one liveness event per process per
+    /// round).
+    pub process: ProcessId,
+    /// Fate of the victim's messages already sent this round.
+    pub sent: SentPolicy,
+}
+
+impl CrashSpec {
+    /// Crash `process`, dropping all of its round-`t` messages.
+    pub fn dropping(process: ProcessId) -> Self {
+        CrashSpec {
+            process,
+            sent: SentPolicy::DropAll,
+        }
+    }
+
+    /// Crash `process` but let its round-`t` messages through.
+    pub fn delivering(process: ProcessId) -> Self {
+        CrashSpec {
+            process,
+            sent: SentPolicy::DeliverAll,
+        }
+    }
+}
+
+/// The adversary's decisions for one round.
+#[derive(Clone, Debug)]
+pub struct RoundDecision<I> {
+    /// Processes to crash this round.
+    pub crashes: Vec<CrashSpec>,
+    /// Processes to restart this round, with the fate of their inbox.
+    pub restarts: Vec<(ProcessId, IncomingPolicy)>,
+    /// Rumors to inject — at most one per process per round, only at alive
+    /// processes (others are dropped and logged as undelivered).
+    pub injections: Vec<(ProcessId, I)>,
+}
+
+impl<I> Default for RoundDecision<I> {
+    fn default() -> Self {
+        RoundDecision {
+            crashes: Vec::new(),
+            restarts: Vec::new(),
+            injections: Vec::new(),
+        }
+    }
+}
+
+impl<I> RoundDecision<I> {
+    /// A decision with no crashes, restarts or injections.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// The CRRI adversary: adaptive, omniscient, in full control of crashes,
+/// restarts and rumor injection.
+pub trait Adversary<P: Protocol> {
+    /// Decides this round's events after observing the round's outboxes.
+    fn decide(&mut self, view: &RoundView<'_>) -> RoundDecision<P::Input>;
+}
+
+/// The trivial adversary: no failures, no injections.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullAdversary;
+
+impl<P: Protocol> Adversary<P> for NullAdversary {
+    fn decide(&mut self, _view: &RoundView<'_>) -> RoundDecision<P::Input> {
+        RoundDecision::none()
+    }
+}
+
+/// Passive observer of engine events — used by the confidentiality auditor,
+/// which must see every delivered message to track fragment knowledge.
+///
+/// All methods default to no-ops.
+pub trait Observer<P: Protocol> {
+    /// A message was delivered (post adversary filtering).
+    fn on_deliver(&mut self, _env: &Envelope<P::Msg>) {}
+    /// An input was injected at an alive process.
+    fn on_inject(&mut self, _round: Round, _process: ProcessId, _input: &P::Input) {}
+    /// An output was produced.
+    fn on_output(&mut self, _rec: &OutputRecord<P::Output>) {}
+    /// A process crashed.
+    fn on_crash(&mut self, _round: Round, _process: ProcessId) {}
+    /// A process restarted (state already reset).
+    fn on_restart(&mut self, _round: Round, _process: ProcessId) {}
+    /// A round completed.
+    fn on_round_end(&mut self, _round: Round) {}
+}
+
+/// Observer that records nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl<P: Protocol> Observer<P> for NullObserver {}
+
+/// An injected input and whether it reached an alive process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectionRecord {
+    /// Round of injection.
+    pub round: Round,
+    /// Target process.
+    pub process: ProcessId,
+    /// `false` if the target was crashed and the injection was dropped.
+    pub delivered: bool,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    n: usize,
+    seed: u64,
+}
+
+impl EngineConfig {
+    /// Configuration for `n` processes with seed 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        EngineConfig { n, seed: 0 }
+    }
+
+    /// Sets the master seed (every run with the same config and adversary is
+    /// bit-identical).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Master seed.
+    pub fn master_seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+struct Slot<P: Protocol> {
+    proto: P,
+    rng: SmallRng,
+    state: ProcessState,
+    generation: u64,
+    pending: Vec<(ProcessId, P::Msg, Tag)>,
+}
+
+/// The lock-step execution engine.
+pub struct Engine<P: Protocol + 'static> {
+    cfg: EngineConfig,
+    round: Round,
+    slots: Vec<Slot<P>>,
+    factory: Box<dyn Fn(ProcessId, usize, u64) -> P>,
+    metrics: Metrics,
+    liveness: LivenessLog,
+    outputs: Vec<OutputRecord<P::Output>>,
+    injections: Vec<InjectionRecord>,
+}
+
+impl<P: Protocol + 'static> Engine<P> {
+    /// Creates an engine with all processes alive in their default initial
+    /// state ([`Protocol::new`]).
+    pub fn new(cfg: EngineConfig) -> Self {
+        Self::with_factory(cfg, P::new)
+    }
+
+    /// Creates an engine whose processes are built by `factory` — used to
+    /// thread deployment configuration into protocol state. The factory is
+    /// also what restarts use, so a restarted process is reset to the same
+    /// configured initial state (it keeps configuration and `[n]`, nothing
+    /// else — exactly the paper's "default initial state consisting only of
+    /// the algorithm and `[n]`").
+    pub fn with_factory<F>(cfg: EngineConfig, factory: F) -> Self
+    where
+        F: Fn(ProcessId, usize, u64) -> P + 'static,
+    {
+        let factory: Box<dyn Fn(ProcessId, usize, u64) -> P> = Box::new(factory);
+        let slots = (0..cfg.n)
+            .map(|i| {
+                let id = ProcessId::new(i);
+                let seed = crate::rng::fork_seed(cfg.seed, id, 0);
+                let mut proto = factory(id, cfg.n, seed);
+                proto.on_start(Round::ZERO);
+                Slot {
+                    proto,
+                    rng: fork_rng(cfg.seed, id, 0),
+                    state: ProcessState::Alive,
+                    generation: 0,
+                    pending: Vec::new(),
+                }
+            })
+            .collect();
+        Engine {
+            cfg,
+            round: Round::ZERO,
+            slots,
+            factory,
+            metrics: Metrics::new(),
+            liveness: LivenessLog::new(cfg.n),
+            outputs: Vec::new(),
+            injections: Vec::new(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.cfg.n
+    }
+
+    /// The round about to execute (i.e. completed rounds are `0..round`).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Liveness of process `p` right now.
+    pub fn state_of(&self, p: ProcessId) -> ProcessState {
+        self.slots[p.as_usize()].state
+    }
+
+    /// Accumulated message metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Crash/restart history.
+    pub fn liveness(&self) -> &LivenessLog {
+        &self.liveness
+    }
+
+    /// All outputs produced so far.
+    pub fn outputs(&self) -> &[OutputRecord<P::Output>] {
+        &self.outputs
+    }
+
+    /// All injections attempted so far.
+    pub fn injections(&self) -> &[InjectionRecord] {
+        &self.injections
+    }
+
+    /// Read access to a process's protocol state (for white-box assertions
+    /// in tests; the protocols themselves never use this).
+    pub fn protocol(&self, p: ProcessId) -> &P {
+        &self.slots[p.as_usize()].proto
+    }
+
+    /// Runs `rounds` rounds under `adversary`.
+    pub fn run<A: Adversary<P>>(&mut self, rounds: u64, adversary: &mut A) {
+        for _ in 0..rounds {
+            self.step(adversary);
+        }
+    }
+
+    /// Runs `rounds` rounds under `adversary`, reporting events to `obs`.
+    pub fn run_observed<A: Adversary<P>, O: Observer<P>>(
+        &mut self,
+        rounds: u64,
+        adversary: &mut A,
+        obs: &mut O,
+    ) {
+        for _ in 0..rounds {
+            self.step_observed(adversary, obs);
+        }
+    }
+
+    /// Executes one round.
+    pub fn step<A: Adversary<P>>(&mut self, adversary: &mut A) {
+        self.step_observed(adversary, &mut NullObserver);
+    }
+
+    /// Executes one round, reporting events to `obs`.
+    pub fn step_observed<A: Adversary<P>, O: Observer<P>>(
+        &mut self,
+        adversary: &mut A,
+        obs: &mut O,
+    ) {
+        let n = self.cfg.n;
+        let round = self.round;
+        self.metrics.begin_round();
+
+        // ---- Phase 1: send. -------------------------------------------
+        let mut outbox: Vec<Envelope<P::Msg>> = Vec::new();
+        let alive_at_start: Vec<bool> =
+            self.slots.iter().map(|s| s.state.is_alive()).collect();
+        let out_start = self.outputs.len();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if !slot.state.is_alive() {
+                continue;
+            }
+            let id = ProcessId::new(i);
+            {
+                let mut ctx = Context::<P> {
+                    id,
+                    n,
+                    round,
+                    rng: &mut slot.rng,
+                    pending: &mut slot.pending,
+                    outputs: &mut self.outputs,
+                };
+                slot.proto.send(&mut ctx);
+            }
+            for (dst, payload, tag) in slot.pending.drain(..) {
+                self.metrics.record_send(tag, P::msg_size(&payload));
+                outbox.push(Envelope {
+                    src: id,
+                    dst,
+                    round,
+                    tag,
+                    payload,
+                });
+            }
+        }
+
+        // ---- Phase 2: adversary. --------------------------------------
+        let meta: Vec<OutboxMeta> = outbox
+            .iter()
+            .map(|e| OutboxMeta {
+                src: e.src,
+                dst: e.dst,
+                tag: e.tag,
+            })
+            .collect();
+        let view = RoundView {
+            round,
+            alive: &alive_at_start,
+            outbox: &meta,
+        };
+        let decision = adversary.decide(&view);
+
+        let mut touched = vec![false; n]; // one liveness event per round
+        let mut crash_policy: Vec<Option<SentPolicy>> = vec![None; n];
+        for spec in decision.crashes {
+            let i = spec.process.as_usize();
+            if !self.slots[i].state.is_alive() || touched[i] {
+                debug_assert!(false, "invalid crash of {} in {round}", spec.process);
+                continue;
+            }
+            touched[i] = true;
+            self.slots[i].state = ProcessState::Crashed;
+            self.slots[i].pending.clear();
+            crash_policy[i] = Some(spec.sent);
+            self.liveness.record_crash(spec.process, round);
+            obs.on_crash(round, spec.process);
+        }
+
+        let mut restart_policy: Vec<Option<IncomingPolicy>> = vec![None; n];
+        for (p, policy) in decision.restarts {
+            let i = p.as_usize();
+            if self.slots[i].state.is_alive() || touched[i] {
+                debug_assert!(false, "invalid restart of {p} in {round}");
+                continue;
+            }
+            touched[i] = true;
+            let slot = &mut self.slots[i];
+            slot.generation += 1;
+            slot.rng = fork_rng(self.cfg.seed, p, slot.generation);
+            let seed = crate::rng::fork_seed(self.cfg.seed, p, slot.generation);
+            slot.proto = (self.factory)(p, n, seed);
+            slot.proto.on_start(round);
+            slot.pending.clear();
+            slot.state = ProcessState::Alive;
+            restart_policy[i] = Some(policy);
+            self.liveness.record_restart(p, round);
+            obs.on_restart(round, p);
+        }
+
+        // ---- Phase 3: delivery. ---------------------------------------
+        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+        for env in outbox {
+            let si = env.src.as_usize();
+            let di = env.dst.as_usize();
+            if let Some(policy) = &crash_policy[si] {
+                if !policy.allows(env.dst) {
+                    continue;
+                }
+            }
+            if !self.slots[di].state.is_alive() {
+                continue; // crashed receivers receive nothing
+            }
+            if let Some(policy) = &restart_policy[di] {
+                if !policy.allows(env.src) {
+                    continue;
+                }
+            }
+            obs.on_deliver(&env);
+            inboxes[di].push(env);
+        }
+
+        // ---- Phase 4: compute (with injections). ----------------------
+        let mut inputs: Vec<Option<P::Input>> = (0..n).map(|_| None).collect();
+        for (p, input) in decision.injections {
+            let i = p.as_usize();
+            let delivered = self.slots[i].state.is_alive();
+            debug_assert!(
+                inputs[i].is_none(),
+                "at most one injection per process per round"
+            );
+            self.injections.push(InjectionRecord {
+                round,
+                process: p,
+                delivered,
+            });
+            if delivered {
+                obs.on_inject(round, p, &input);
+                inputs[i] = Some(input);
+            }
+        }
+
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if !slot.state.is_alive() {
+                continue;
+            }
+            let id = ProcessId::new(i);
+            let input = inputs[i].take();
+            let inbox = std::mem::take(&mut inboxes[i]);
+            let mut ctx = Context::<P> {
+                id,
+                n,
+                round,
+                rng: &mut slot.rng,
+                pending: &mut slot.pending,
+                outputs: &mut self.outputs,
+            };
+            slot.proto.receive(&mut ctx, &inbox, input);
+        }
+
+        for rec in &self.outputs[out_start..] {
+            self.metrics.record_delivery();
+            obs.on_output(rec);
+        }
+        obs.on_round_end(round);
+        self.round = round.next();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every process pings its successor each round and reports each ping.
+    struct Ring;
+
+    impl Protocol for Ring {
+        type Msg = u64;
+        type Input = u64;
+        type Output = (ProcessId, u64);
+
+        fn new(_id: ProcessId, _n: usize, _seed: u64) -> Self {
+            Ring
+        }
+        fn send(&mut self, ctx: &mut Context<'_, Self>) {
+            let next = ProcessId::new((ctx.id().as_usize() + 1) % ctx.n());
+            let r = ctx.round().as_u64();
+            ctx.send(next, r, Tag("ping"));
+        }
+        fn receive(
+            &mut self,
+            ctx: &mut Context<'_, Self>,
+            inbox: &[Envelope<u64>],
+            input: Option<u64>,
+        ) {
+            for env in inbox {
+                let src = env.src;
+                let payload = env.payload;
+                ctx.output((src, payload));
+            }
+            if let Some(v) = input {
+                ctx.output((ctx.id(), v + 1000));
+            }
+        }
+    }
+
+    #[test]
+    fn failure_free_ring_delivers_everything() {
+        let mut e = Engine::<Ring>::new(EngineConfig::new(4).seed(1));
+        e.run(3, &mut NullAdversary);
+        // 4 pings per round × 3 rounds.
+        assert_eq!(e.metrics().total(), 12);
+        assert_eq!(e.metrics().max_per_round(), 4);
+        assert_eq!(e.outputs().len(), 12);
+        assert_eq!(e.metrics().deliveries(), 12);
+    }
+
+    struct ScriptedAdversary {
+        script: Vec<(u64, RoundDecision<u64>)>,
+    }
+
+    impl Adversary<Ring> for ScriptedAdversary {
+        fn decide(&mut self, view: &RoundView<'_>) -> RoundDecision<u64> {
+            let t = view.round.as_u64();
+            match self.script.iter().position(|(r, _)| *r == t) {
+                Some(i) => self.script.remove(i).1,
+                None => RoundDecision::none(),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_drops_sent_and_received_messages() {
+        // Crash p1 in round 0 with DropAll: its ping to p2 dies, and the
+        // ping from p0 to p1 also dies (crashed receivers receive nothing).
+        let mut adv = ScriptedAdversary {
+            script: vec![(
+                0,
+                RoundDecision {
+                    crashes: vec![CrashSpec::dropping(ProcessId::new(1))],
+                    restarts: vec![],
+                    injections: vec![],
+                },
+            )],
+        };
+        let mut e = Engine::<Ring>::new(EngineConfig::new(4).seed(1));
+        e.step(&mut adv);
+        // Sent messages are still metered (complexity counts sends).
+        assert_eq!(e.metrics().round(0).total(), 4);
+        // p2 got nothing, p1 got nothing: only p0←p3 and p3←p2 delivered.
+        assert_eq!(e.outputs().len(), 2);
+        assert_eq!(e.state_of(ProcessId::new(1)), ProcessState::Crashed);
+        // Crashed process does not send in round 1: 3 messages.
+        e.step(&mut adv);
+        assert_eq!(e.metrics().round(1).total(), 3);
+    }
+
+    #[test]
+    fn crash_with_deliver_all_lets_final_messages_through() {
+        let mut adv = ScriptedAdversary {
+            script: vec![(
+                0,
+                RoundDecision {
+                    crashes: vec![CrashSpec::delivering(ProcessId::new(1))],
+                    restarts: vec![],
+                    injections: vec![],
+                },
+            )],
+        };
+        let mut e = Engine::<Ring>::new(EngineConfig::new(4).seed(1));
+        e.step(&mut adv);
+        // p1's ping to p2 survives; p1 itself receives nothing.
+        assert_eq!(e.outputs().len(), 3);
+    }
+
+    #[test]
+    fn restart_resets_and_rejoins() {
+        let p1 = ProcessId::new(1);
+        let mut adv = ScriptedAdversary {
+            script: vec![
+                (
+                    0,
+                    RoundDecision {
+                        crashes: vec![CrashSpec::dropping(p1)],
+                        restarts: vec![],
+                        injections: vec![],
+                    },
+                ),
+                (
+                    2,
+                    RoundDecision {
+                        crashes: vec![],
+                        restarts: vec![(p1, IncomingPolicy::DeliverAll)],
+                        injections: vec![],
+                    },
+                ),
+            ],
+        };
+        let mut e = Engine::<Ring>::new(EngineConfig::new(4).seed(1));
+        e.run(4, &mut adv);
+        assert_eq!(e.state_of(p1), ProcessState::Alive);
+        // Round 2: p1 restarted mid-round, receives p0's ping (DeliverAll)
+        // but did not send. Round 3: fully back, sends again.
+        assert_eq!(e.metrics().round(2).total(), 3);
+        assert_eq!(e.metrics().round(3).total(), 4);
+        assert!(e.liveness().continuously_alive(p1, Round(3), Round(3)));
+        assert!(!e.liveness().continuously_alive(p1, Round(0), Round(3)));
+    }
+
+    #[test]
+    fn restart_with_drop_all_loses_inflight_messages() {
+        let p1 = ProcessId::new(1);
+        let mut adv = ScriptedAdversary {
+            script: vec![
+                (
+                    0,
+                    RoundDecision {
+                        crashes: vec![CrashSpec::dropping(p1)],
+                        restarts: vec![],
+                        injections: vec![],
+                    },
+                ),
+                (
+                    1,
+                    RoundDecision {
+                        crashes: vec![],
+                        restarts: vec![(p1, IncomingPolicy::DropAll)],
+                        injections: vec![],
+                    },
+                ),
+            ],
+        };
+        let mut e = Engine::<Ring>::new(EngineConfig::new(4).seed(1));
+        e.run(2, &mut adv);
+        // Round 1 outputs: p2←p1? no (p1 crashed at send time of round 1 —
+        // restart happens after send phase). p1's inbox dropped by policy.
+        // Delivered: p3←p2, p0←p3. p2←p1 missing, p1←p0 dropped.
+        let round1: Vec<_> = e.outputs().iter().filter(|o| o.round == Round(1)).collect();
+        assert_eq!(round1.len(), 2);
+    }
+
+    #[test]
+    fn injections_reach_only_alive_processes() {
+        let p1 = ProcessId::new(1);
+        let mut adv = ScriptedAdversary {
+            script: vec![
+                (
+                    0,
+                    RoundDecision {
+                        crashes: vec![CrashSpec::dropping(p1)],
+                        restarts: vec![],
+                        injections: vec![(ProcessId::new(0), 7u64)],
+                    },
+                ),
+                (
+                    1,
+                    RoundDecision {
+                        crashes: vec![],
+                        restarts: vec![],
+                        injections: vec![(p1, 9u64)],
+                    },
+                ),
+            ],
+        };
+        let mut e = Engine::<Ring>::new(EngineConfig::new(4).seed(1));
+        e.run(2, &mut adv);
+        let injected: Vec<_> = e
+            .outputs()
+            .iter()
+            .filter(|o| o.value.1 >= 1000)
+            .collect();
+        assert_eq!(injected.len(), 1, "only the alive process saw its input");
+        assert_eq!(injected[0].value, (ProcessId::new(0), 1007));
+        assert_eq!(e.injections().len(), 2);
+        assert!(e.injections()[0].delivered);
+        assert!(!e.injections()[1].delivered);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_execution() {
+        let run = |seed| {
+            let mut e = Engine::<Ring>::new(EngineConfig::new(8).seed(seed));
+            e.run(5, &mut NullAdversary);
+            (e.metrics().total(), e.outputs().len())
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    /// Protocol that outputs one random value, to check RNG reset semantics.
+    struct RandOnce {
+        emitted: bool,
+    }
+    impl Protocol for RandOnce {
+        type Msg = ();
+        type Input = ();
+        type Output = u64;
+        fn new(_id: ProcessId, _n: usize, _seed: u64) -> Self {
+            RandOnce { emitted: false }
+        }
+        fn send(&mut self, _ctx: &mut Context<'_, Self>) {}
+        fn receive(&mut self, ctx: &mut Context<'_, Self>, _i: &[Envelope<()>], _in: Option<()>) {
+            if !self.emitted {
+                self.emitted = true;
+                let v = rand::Rng::gen::<u64>(ctx.rng());
+                ctx.output(v);
+            }
+        }
+    }
+
+    struct CrashRestartOnce;
+    impl Adversary<RandOnce> for CrashRestartOnce {
+        fn decide(&mut self, view: &RoundView<'_>) -> RoundDecision<()> {
+            match view.round.as_u64() {
+                0 => RoundDecision {
+                    crashes: vec![CrashSpec::dropping(ProcessId::new(0))],
+                    restarts: vec![],
+                    injections: vec![],
+                },
+                1 => RoundDecision {
+                    crashes: vec![],
+                    restarts: vec![(ProcessId::new(0), IncomingPolicy::DropAll)],
+                    injections: vec![],
+                },
+                _ => RoundDecision::none(),
+            }
+        }
+    }
+
+    #[test]
+    fn restart_gets_fresh_rng_stream() {
+        let mut e = Engine::<RandOnce>::new(EngineConfig::new(1).seed(5));
+        e.run(3, &mut CrashRestartOnce);
+        // p0 crashed in round 0 before computing... no: compute happens after
+        // crash, so crashed p0 never emitted in round 0. After restart it
+        // emits once. Exactly one output.
+        assert_eq!(e.outputs().len(), 1);
+        let after_restart = e.outputs()[0].value;
+
+        // A failure-free run emits the generation-0 value, which must differ
+        // from the generation-1 value above.
+        let mut f = Engine::<RandOnce>::new(EngineConfig::new(1).seed(5));
+        f.run(1, &mut NullAdversary);
+        assert_ne!(f.outputs()[0].value, after_restart);
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::message::Tag;
+
+    /// p0 sends to p1 and p2 every round; receivers report.
+    struct Fan;
+    impl Protocol for Fan {
+        type Msg = ();
+        type Input = ();
+        type Output = ProcessId;
+        fn new(_id: ProcessId, _n: usize, _seed: u64) -> Self {
+            Fan
+        }
+        fn send(&mut self, ctx: &mut Context<'_, Self>) {
+            if ctx.id().as_usize() == 0 {
+                ctx.send(ProcessId::new(1), (), Tag("fan"));
+                ctx.send(ProcessId::new(2), (), Tag("fan"));
+            }
+        }
+        fn receive(&mut self, ctx: &mut Context<'_, Self>, inbox: &[Envelope<()>], _i: Option<()>) {
+            for _ in inbox {
+                ctx.output(ctx.id());
+            }
+        }
+    }
+
+    struct SubsetCrash;
+    impl Adversary<Fan> for SubsetCrash {
+        fn decide(&mut self, view: &RoundView<'_>) -> RoundDecision<()> {
+            if view.round == Round(0) {
+                RoundDecision {
+                    crashes: vec![CrashSpec {
+                        process: ProcessId::new(0),
+                        sent: SentPolicy::DeliverOnlyTo(vec![ProcessId::new(2)]),
+                    }],
+                    restarts: vec![],
+                    injections: vec![],
+                }
+            } else {
+                RoundDecision::none()
+            }
+        }
+    }
+
+    #[test]
+    fn deliver_only_to_filters_per_destination() {
+        // The paper's partial-delivery semantics: the adversary picks WHICH
+        // of a crashing process's messages survive, per destination.
+        let mut e = Engine::<Fan>::new(EngineConfig::new(3).seed(1));
+        e.step(&mut SubsetCrash);
+        let receivers: Vec<ProcessId> = e.outputs().iter().map(|o| o.value).collect();
+        assert_eq!(receivers, vec![ProcessId::new(2)], "only p2's copy survives");
+        // Both sends are still metered (complexity counts sends).
+        assert_eq!(e.metrics().round(0).total(), 2);
+    }
+
+    struct SubsetRestart;
+    impl Adversary<Fan> for SubsetRestart {
+        fn decide(&mut self, view: &RoundView<'_>) -> RoundDecision<()> {
+            match view.round.as_u64() {
+                0 => RoundDecision {
+                    crashes: vec![CrashSpec::dropping(ProcessId::new(1))],
+                    restarts: vec![],
+                    injections: vec![],
+                },
+                1 => RoundDecision {
+                    crashes: vec![],
+                    restarts: vec![(
+                        ProcessId::new(1),
+                        IncomingPolicy::DeliverOnlyFrom(vec![ProcessId::new(0)]),
+                    )],
+                    injections: vec![],
+                },
+                _ => RoundDecision::none(),
+            }
+        }
+    }
+
+    #[test]
+    fn deliver_only_from_filters_restart_inbox() {
+        let mut e = Engine::<Fan>::new(EngineConfig::new(3).seed(1));
+        e.run(2, &mut SubsetRestart);
+        // Round 1: p1 restarts with a from-p0 filter; p0's message arrives.
+        let round1: Vec<_> = e
+            .outputs()
+            .iter()
+            .filter(|o| o.round == Round(1) && o.value == ProcessId::new(1))
+            .collect();
+        assert_eq!(round1.len(), 1);
+    }
+}

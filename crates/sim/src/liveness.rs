@@ -1,0 +1,150 @@
+//! Liveness history: who was alive when.
+//!
+//! Quality of Delivery (Definition 1) only binds for *admissible* rumors:
+//! rumor `ρ` injected at `p` in round `t` is admissible for `q ∈ ρ.D` when
+//! both `p` and `q` are **continuously alive** during `[t, t + ρ.d]`. The
+//! engine records every crash/restart so the harness can classify rumors
+//! exactly.
+
+use crate::clock::Round;
+use crate::process::ProcessId;
+
+/// A crash or restart event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LivenessEvent {
+    /// `crash(p, t)` — the process halts during round `t`.
+    Crash(Round),
+    /// `restart(p, t)` — the process resumes (state reset) during round `t`.
+    Restart(Round),
+}
+
+/// Per-process liveness timelines for one execution.
+#[derive(Clone, Debug, Default)]
+pub struct LivenessLog {
+    events: Vec<Vec<LivenessEvent>>, // indexed by pid
+}
+
+impl LivenessLog {
+    /// Creates a log for `n` processes (all initially alive).
+    pub fn new(n: usize) -> Self {
+        LivenessLog {
+            events: vec![Vec::new(); n],
+        }
+    }
+
+    /// Records a crash of `p` in round `t`.
+    pub fn record_crash(&mut self, p: ProcessId, t: Round) {
+        self.events[p.as_usize()].push(LivenessEvent::Crash(t));
+    }
+
+    /// Records a restart of `p` in round `t`.
+    pub fn record_restart(&mut self, p: ProcessId, t: Round) {
+        self.events[p.as_usize()].push(LivenessEvent::Restart(t));
+    }
+
+    /// Events for process `p` in chronological order.
+    pub fn events(&self, p: ProcessId) -> &[LivenessEvent] {
+        &self.events[p.as_usize()]
+    }
+
+    /// `true` iff `p` is alive at the *end* of round `t` (processes start
+    /// alive in round 0; a crash in round `t` makes them dead at its end; a
+    /// restart in round `t` makes them alive at its end).
+    pub fn alive_at_end(&self, p: ProcessId, t: Round) -> bool {
+        let mut alive = true;
+        for ev in &self.events[p.as_usize()] {
+            match *ev {
+                LivenessEvent::Crash(r) if r <= t => alive = false,
+                LivenessEvent::Restart(r) if r <= t => alive = true,
+                _ => {}
+            }
+        }
+        alive
+    }
+
+    /// `true` iff `p` is **continuously alive** over `[ta, tb]`: alive at the
+    /// start of `ta`, at the end of `tb`, and suffering no crash event in
+    /// between (the paper's definition).
+    pub fn continuously_alive(&self, p: ProcessId, ta: Round, tb: Round) -> bool {
+        debug_assert!(ta <= tb);
+        // Alive at the beginning of ta = alive at the end of ta-1 (or the
+        // initial state for round 0).
+        let alive_at_start = if ta == Round::ZERO {
+            // No event precedes round 0.
+            true
+        } else {
+            self.alive_at_end(p, Round(ta.0 - 1))
+        };
+        if !alive_at_start {
+            return false;
+        }
+        !self.events[p.as_usize()].iter().any(|ev| match *ev {
+            LivenessEvent::Crash(r) => ta <= r && r <= tb,
+            LivenessEvent::Restart(_) => false,
+        })
+    }
+
+    /// Count of crash events across all processes.
+    pub fn crash_count(&self) -> usize {
+        self.events
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, LivenessEvent::Crash(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn initially_alive_forever() {
+        let log = LivenessLog::new(2);
+        assert!(log.alive_at_end(p(0), Round(100)));
+        assert!(log.continuously_alive(p(1), Round(0), Round(100)));
+    }
+
+    #[test]
+    fn crash_breaks_continuity() {
+        let mut log = LivenessLog::new(1);
+        log.record_crash(p(0), Round(5));
+        assert!(log.alive_at_end(p(0), Round(4)));
+        assert!(!log.alive_at_end(p(0), Round(5)));
+        assert!(log.continuously_alive(p(0), Round(0), Round(4)));
+        assert!(!log.continuously_alive(p(0), Round(0), Round(5)));
+        assert!(!log.continuously_alive(p(0), Round(5), Round(5)));
+    }
+
+    #[test]
+    fn restart_resumes_but_does_not_heal_continuity() {
+        let mut log = LivenessLog::new(1);
+        log.record_crash(p(0), Round(5));
+        log.record_restart(p(0), Round(8));
+        assert!(log.alive_at_end(p(0), Round(8)));
+        // Interval spanning the crash is broken even though p is alive at
+        // both endpoints' boundary rounds.
+        assert!(!log.continuously_alive(p(0), Round(0), Round(10)));
+        // Interval strictly after the restart is fine.
+        assert!(log.continuously_alive(p(0), Round(9), Round(20)));
+        // Interval starting in the crashed gap is not alive at start.
+        assert!(!log.continuously_alive(p(0), Round(6), Round(7)));
+        // Starting exactly at the restart round: alive at end of 8, but not
+        // at its *start* (it was dead at end of round 7).
+        assert!(!log.continuously_alive(p(0), Round(8), Round(9)));
+    }
+
+    #[test]
+    fn crash_count_tallies() {
+        let mut log = LivenessLog::new(2);
+        log.record_crash(p(0), Round(1));
+        log.record_restart(p(0), Round(2));
+        log.record_crash(p(1), Round(3));
+        assert_eq!(log.crash_count(), 2);
+        assert_eq!(log.events(p(0)).len(), 2);
+    }
+}

@@ -1,0 +1,275 @@
+//! Execution tracing: a bounded, structured event log.
+//!
+//! [`Tracer`] is an [`Observer`] that records engine events into a ring
+//! buffer and renders them as a human-readable timeline — the debugging
+//! companion to the metrics (which aggregate) and the auditor (which
+//! judges). Attach it to any run:
+//!
+//! ```
+//! use congos_sim::trace::Tracer;
+//! use congos_sim::{Engine, EngineConfig, NullAdversary, Context, Envelope,
+//!                  Protocol, ProcessId, Tag};
+//!
+//! struct Ping;
+//! impl Protocol for Ping {
+//!     type Msg = ();
+//!     type Input = ();
+//!     type Output = ();
+//!     fn new(_id: ProcessId, _n: usize, _seed: u64) -> Self { Ping }
+//!     fn send(&mut self, ctx: &mut Context<'_, Self>) {
+//!         let next = ProcessId::new((ctx.id().as_usize() + 1) % ctx.n());
+//!         ctx.send(next, (), Tag("ping"));
+//!     }
+//!     fn receive(&mut self, _ctx: &mut Context<'_, Self>,
+//!                _inbox: &[Envelope<()>], _input: Option<()>) {}
+//! }
+//!
+//! let mut engine = Engine::<Ping>::new(EngineConfig::new(3));
+//! let mut tracer = Tracer::new(100);
+//! engine.run_observed(2, &mut NullAdversary, &mut tracer);
+//! let timeline = tracer.render();
+//! assert!(timeline.contains("r0"));
+//! assert!(timeline.contains("#ping"));
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::clock::Round;
+use crate::engine::{Observer, OutputRecord, Protocol};
+use crate::message::{Envelope, Tag};
+use crate::process::ProcessId;
+
+/// One traced event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was delivered.
+    Deliver {
+        /// Round of delivery.
+        round: Round,
+        /// Sender.
+        src: ProcessId,
+        /// Receiver.
+        dst: ProcessId,
+        /// Service tag.
+        tag: Tag,
+    },
+    /// An input was injected.
+    Inject {
+        /// Round of injection.
+        round: Round,
+        /// Target process.
+        process: ProcessId,
+    },
+    /// A process produced an output.
+    Output {
+        /// Round of output.
+        round: Round,
+        /// Producing process.
+        process: ProcessId,
+    },
+    /// A process crashed.
+    Crash {
+        /// Round of the crash.
+        round: Round,
+        /// The victim.
+        process: ProcessId,
+    },
+    /// A process restarted.
+    Restart {
+        /// Round of the restart.
+        round: Round,
+        /// The returnee.
+        process: ProcessId,
+    },
+}
+
+impl TraceEvent {
+    fn round(&self) -> Round {
+        match self {
+            TraceEvent::Deliver { round, .. }
+            | TraceEvent::Inject { round, .. }
+            | TraceEvent::Output { round, .. }
+            | TraceEvent::Crash { round, .. }
+            | TraceEvent::Restart { round, .. } => *round,
+        }
+    }
+}
+
+/// A bounded event recorder (keeps the most recent `capacity` events).
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    /// Only record deliveries with these tags (empty = all).
+    tag_filter: Vec<&'static str>,
+}
+
+impl Tracer {
+    /// A tracer keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Tracer {
+            capacity,
+            events: VecDeque::new(),
+            dropped: 0,
+            tag_filter: Vec::new(),
+        }
+    }
+
+    /// Restricts delivery tracing to the given service tags (other events
+    /// are always recorded).
+    pub fn only_tags(mut self, tags: &[Tag]) -> Self {
+        self.tag_filter = tags.iter().map(|t| t.name()).collect();
+        self
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders a per-round timeline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut current: Option<Round> = None;
+        if self.dropped > 0 {
+            let _ = writeln!(out, "… {} earlier events dropped …", self.dropped);
+        }
+        for ev in &self.events {
+            if current != Some(ev.round()) {
+                current = Some(ev.round());
+                let _ = writeln!(out, "{}:", ev.round());
+            }
+            match ev {
+                TraceEvent::Deliver { src, dst, tag, .. } => {
+                    let _ = writeln!(out, "  {src} → {dst}  {tag:?}");
+                }
+                TraceEvent::Inject { process, .. } => {
+                    let _ = writeln!(out, "  inject @ {process}");
+                }
+                TraceEvent::Output { process, .. } => {
+                    let _ = writeln!(out, "  output @ {process}");
+                }
+                TraceEvent::Crash { process, .. } => {
+                    let _ = writeln!(out, "  ✗ crash {process}");
+                }
+                TraceEvent::Restart { process, .. } => {
+                    let _ = writeln!(out, "  ↻ restart {process}");
+                }
+            }
+        }
+        out
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+impl<P: Protocol> Observer<P> for Tracer {
+    fn on_deliver(&mut self, env: &Envelope<P::Msg>) {
+        if !self.tag_filter.is_empty() && !self.tag_filter.contains(&env.tag.name()) {
+            return;
+        }
+        self.push(TraceEvent::Deliver {
+            round: env.round,
+            src: env.src,
+            dst: env.dst,
+            tag: env.tag,
+        });
+    }
+
+    fn on_inject(&mut self, round: Round, process: ProcessId, _input: &P::Input) {
+        self.push(TraceEvent::Inject { round, process });
+    }
+
+    fn on_output(&mut self, rec: &OutputRecord<P::Output>) {
+        self.push(TraceEvent::Output {
+            round: rec.round,
+            process: rec.process,
+        });
+    }
+
+    fn on_crash(&mut self, round: Round, process: ProcessId) {
+        self.push(TraceEvent::Crash { round, process });
+    }
+
+    fn on_restart(&mut self, round: Round, process: ProcessId) {
+        self.push(TraceEvent::Restart { round, process });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Context, Engine, EngineConfig, NullAdversary};
+
+    struct Ring;
+    impl Protocol for Ring {
+        type Msg = ();
+        type Input = ();
+        type Output = ();
+        fn new(_id: ProcessId, _n: usize, _seed: u64) -> Self {
+            Ring
+        }
+        fn send(&mut self, ctx: &mut Context<'_, Self>) {
+            let next = ProcessId::new((ctx.id().as_usize() + 1) % ctx.n());
+            ctx.send(next, (), Tag("ring"));
+        }
+        fn receive(
+            &mut self,
+            _ctx: &mut Context<'_, Self>,
+            _inbox: &[Envelope<()>],
+            _input: Option<()>,
+        ) {
+        }
+    }
+
+    #[test]
+    fn records_and_renders_deliveries() {
+        let mut engine = Engine::<Ring>::new(EngineConfig::new(3));
+        let mut tracer = Tracer::new(100);
+        engine.run_observed(2, &mut NullAdversary, &mut tracer);
+        assert_eq!(tracer.events().count(), 6); // 3 deliveries × 2 rounds
+        let text = tracer.render();
+        assert!(text.contains("r0:"));
+        assert!(text.contains("r1:"));
+        assert!(text.contains("#ring"));
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut engine = Engine::<Ring>::new(EngineConfig::new(3));
+        let mut tracer = Tracer::new(4);
+        engine.run_observed(2, &mut NullAdversary, &mut tracer);
+        assert_eq!(tracer.events().count(), 4);
+        assert_eq!(tracer.dropped(), 2);
+        assert!(tracer.render().contains("2 earlier events dropped"));
+        // Only round-1 events remain (plus the tail of round 0).
+        assert!(tracer.events().all(|e| e.round() >= Round(0)));
+    }
+
+    #[test]
+    fn tag_filter_drops_other_services() {
+        let mut engine = Engine::<Ring>::new(EngineConfig::new(3));
+        let mut tracer = Tracer::new(100).only_tags(&[Tag("other")]);
+        engine.run_observed(2, &mut NullAdversary, &mut tracer);
+        assert_eq!(tracer.events().count(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the simulator's core data structures, checked
+//! against naive reference models.
+
+use std::collections::BTreeSet;
+
+use congos_sim::clock::{trim_deadline, BlockClock};
+use congos_sim::liveness::LivenessLog;
+use congos_sim::{IdSet, ProcessId, Round};
+use proptest::prelude::*;
+
+proptest! {
+    /// IdSet agrees with a BTreeSet model under any operation sequence.
+    #[test]
+    fn idset_matches_btreeset_model(
+        ops in prop::collection::vec((0usize..3, 0usize..96), 0..200)
+    ) {
+        let n = 96;
+        let mut set = IdSet::empty(n);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for (op, i) in ops {
+            let p = ProcessId::new(i);
+            match op {
+                0 => {
+                    prop_assert_eq!(set.insert(p), model.insert(i));
+                }
+                1 => {
+                    prop_assert_eq!(set.remove(p), model.remove(&i));
+                }
+                _ => {
+                    prop_assert_eq!(set.contains(p), model.contains(&i));
+                }
+            }
+            prop_assert_eq!(set.len(), model.len());
+        }
+        let got: Vec<usize> = set.iter().map(ProcessId::as_usize).collect();
+        let want: Vec<usize> = model.into_iter().collect();
+        prop_assert_eq!(got, want, "iteration order is sorted and complete");
+    }
+
+    /// Set algebra matches the model.
+    #[test]
+    fn idset_algebra_matches_model(
+        a in prop::collection::btree_set(0usize..64, 0..40),
+        b in prop::collection::btree_set(0usize..64, 0..40),
+    ) {
+        let n = 64;
+        let sa = IdSet::from_iter(n, a.iter().map(|i| ProcessId::new(*i)));
+        let sb = IdSet::from_iter(n, b.iter().map(|i| ProcessId::new(*i)));
+
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        let mu: BTreeSet<usize> = a.union(&b).copied().collect();
+        prop_assert_eq!(u.len(), mu.len());
+
+        let mut i = sa.clone();
+        i.intersect_with(&sb);
+        let mi: BTreeSet<usize> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(i.len(), mi.len());
+
+        let mut d = sa.clone();
+        d.subtract(&sb);
+        let md: BTreeSet<usize> = a.difference(&b).copied().collect();
+        prop_assert_eq!(d.len(), md.len());
+
+        prop_assert_eq!(sa.is_subset_of(&sb), a.is_subset(&b));
+        prop_assert_eq!(sa.is_disjoint_from(&sb), a.is_disjoint(&b));
+    }
+
+    /// trim_deadline: result is a power of two, ≤ min(d.max(1), cap),
+    /// and > d/2 when no cap binds.
+    #[test]
+    fn trim_deadline_properties(d in 0u64..1_000_000, cap in 1u64..1_000_000) {
+        let out = trim_deadline(d, cap);
+        prop_assert!(out.is_power_of_two());
+        prop_assert!(out <= d.max(1));
+        let capped = d.min(cap).max(1);
+        prop_assert!(out <= capped.next_power_of_two());
+        prop_assert!(out * 2 > capped, "rounding down loses at most half");
+    }
+
+    /// Block clock invariants for any valid deadline class.
+    #[test]
+    fn block_clock_invariants(pow in 5u32..20, t in 0u64..1_000_000) {
+        let dline = 1u64 << pow; // ≥ 32
+        let c = BlockClock::new(dline);
+        let t = Round(t);
+        prop_assert_eq!(c.block_len(), dline / 4);
+        prop_assert!(c.iterations_per_block() >= dline.isqrt() / 8, "Lemma 6");
+        prop_assert!(c.offset_in_block(t) < c.block_len());
+        if let Some(off) = c.offset_in_iteration(t) {
+            prop_assert!(off < c.iter_len());
+            let it = c.iteration_of(t).unwrap();
+            prop_assert_eq!(c.offset_in_block(t), it * c.iter_len() + off);
+        } else {
+            prop_assert!(c.offset_in_block(t) >= c.iterations_per_block() * c.iter_len());
+        }
+    }
+
+    /// Liveness log vs a naive round-by-round replay.
+    #[test]
+    fn liveness_matches_replay(
+        events in prop::collection::vec((0u64..100, prop::bool::ANY), 0..20),
+        qa in 0u64..100,
+        span in 0u64..30,
+    ) {
+        // Build a consistent event sequence for one process: alternate
+        // crash/restart in round order, at most one event per round.
+        let mut rounds: Vec<u64> = events.iter().map(|(r, _)| *r).collect();
+        rounds.sort_unstable();
+        rounds.dedup();
+        let mut log = LivenessLog::new(1);
+        let p = ProcessId::new(0);
+        let mut alive = true;
+        let mut timeline = Vec::new(); // (round, alive_after)
+        for r in rounds {
+            if alive {
+                log.record_crash(p, Round(r));
+            } else {
+                log.record_restart(p, Round(r));
+            }
+            alive = !alive;
+            timeline.push((r, alive));
+        }
+        // Replay model: alive at end of round t.
+        let alive_at = |t: u64| -> bool {
+            timeline
+                .iter()
+                .rfind(|(r, _)| *r <= t)
+                .map(|(_, a)| *a)
+                .unwrap_or(true)
+        };
+        let ta = qa;
+        let tb = qa + span;
+        prop_assert_eq!(log.alive_at_end(p, Round(tb)), alive_at(tb));
+        let model_cont = (ta == 0 || alive_at(ta - 1))
+            && timeline.iter().all(|(r, a)| {
+                // crash events are the transitions to !alive
+                !(!a && *r >= ta && *r <= tb)
+            });
+        prop_assert_eq!(
+            log.continuously_alive(p, Round(ta), Round(tb)),
+            model_cont
+        );
+    }
+}

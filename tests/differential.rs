@@ -1,0 +1,76 @@
+//! Differential testing: in failure-free executions, CONGOS must produce
+//! exactly the same set of (rumor, destination) deliveries as the trivial
+//! direct-unicast protocol — on time, every time, for any workload — while
+//! never exceeding the deadline. The protocols differ in *how* (and in what
+//! a curious process can learn), never in *what* is delivered.
+
+use std::collections::BTreeSet;
+
+use confidential_gossip::adversary::{NoFailures, PoissonWorkload};
+use confidential_gossip::baselines::DirectNode;
+use confidential_gossip::congos::CongosNode;
+use confidential_gossip::harness::{run, RunSpec};
+use confidential_gossip::sim::Round;
+
+fn delivery_set(
+    out: &confidential_gossip::harness::RunOutcome,
+) -> BTreeSet<(u64, usize)> {
+    out.deliveries
+        .iter()
+        .map(|d| (d.wid, d.process.as_usize()))
+        .collect()
+}
+
+#[test]
+fn congos_and_direct_deliver_identical_sets() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let n = 16;
+        let rounds = 160;
+        let spec = RunSpec {
+            n,
+            seed,
+            rounds,
+        };
+        let mk = || {
+            PoissonWorkload::new(0.04, 3, 64, seed * 31).until(Round(rounds - 64))
+        };
+        let congos = run::<CongosNode, _, _>(spec, NoFailures, mk());
+        let direct = run::<DirectNode, _, _>(spec, NoFailures, mk());
+        assert!(congos.qod.perfect(), "seed {seed}: {:?}", congos.qod);
+        assert!(direct.qod.perfect(), "seed {seed}");
+        assert_eq!(
+            congos.injections.len(),
+            direct.injections.len(),
+            "seed {seed}: workloads must be identical"
+        );
+        let a = delivery_set(&congos);
+        let b = delivery_set(&direct);
+        assert_eq!(a, b, "seed {seed}: delivery sets diverge");
+        assert!(!a.is_empty(), "seed {seed}: empty workload");
+    }
+}
+
+#[test]
+fn congos_collusion_variant_is_also_delivery_equivalent() {
+    use confidential_gossip::congos::CongosConfig;
+    use confidential_gossip::harness::run_with_factory;
+
+    let n = 16;
+    let rounds = 160;
+    let spec = RunSpec {
+        n,
+        seed: 77,
+        rounds,
+    };
+    let mk = || PoissonWorkload::new(0.03, 3, 64, 99).until(Round(rounds - 64));
+    let cfg = CongosConfig::collusion_tolerant(2, 5).without_degenerate_shortcut();
+    let collusion = run_with_factory::<CongosNode, _, _>(
+        spec,
+        move |id, n, _s| CongosNode::with_config(id, n, cfg.clone()),
+        NoFailures,
+        mk(),
+    );
+    let direct = run::<DirectNode, _, _>(spec, NoFailures, mk());
+    assert!(collusion.qod.perfect(), "{:?}", collusion.qod);
+    assert_eq!(delivery_set(&collusion), delivery_set(&direct));
+}
