@@ -2,7 +2,6 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use congos_sim::{ProcessId, Round, RoundView};
 
@@ -11,7 +10,7 @@ use crate::plan::InjectionPlan;
 /// A protocol-agnostic description of a rumor to inject: payload bytes, a
 /// deadline in rounds, and a destination set. Protocol crates convert this
 /// into their own rumor type via `From<RumorSpec>`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RumorSpec {
     /// Workload-unique rumor identifier, used to correlate injections with
     /// deliveries in experiments.
@@ -39,7 +38,7 @@ impl RumorSpec {
 }
 
 /// Record of an injection a workload has emitted (for later QoD accounting).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InjectionLogEntry {
     /// Round of injection.
     pub round: Round,

@@ -5,24 +5,20 @@
 //! `congos-harness` binaries (`cargo run --release -p congos-harness --bin
 //! exp_eN`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use congos::{CongosConfig, CongosNode, CoverTrafficConfig, PartitionSet};
 use congos_adversary::{NoFailures, PoissonWorkload, RandomChurn, Theorem1Workload};
 use congos_baselines::{CryptoMulticastNode, StronglyConfidentialNode};
 use congos_harness::run::{run, run_with_factory, RunSpec};
-use congos_sim::{IdSet, ProcessId, Round};
+use congos_sim::{EngineBackend, IdSet, ProcessId, Round};
 
 const N: usize = 12;
 const DEADLINE: u64 = 64;
 const ROUNDS: u64 = 2 * DEADLINE;
 
 fn spec(seed: u64) -> RunSpec {
-    RunSpec {
-        n: N,
-        seed,
-        rounds: ROUNDS,
-    }
+    RunSpec::new(N, seed, ROUNDS)
 }
 
 fn poisson(seed: u64) -> PoissonWorkload {
@@ -146,6 +142,34 @@ fn benches(c: &mut Criterion) {
         })
     });
 
+    g.finish();
+
+    // Backend-scaling smoke: the E3 kernel at n = 1024 on each backend. The
+    // workload is kept light (≈2 rumors/round on the direct path) so the
+    // engine's per-round fan-out over 1024 processes dominates — that is the
+    // part the parallel backend shards. Outcomes are bit-identical across
+    // backends (tests/differential.rs); only wall clock may differ, and the
+    // speedup tracks the host's physical core count.
+    let mut g = c.benchmark_group("backend_scaling");
+    g.sample_size(10);
+    const N_LARGE: usize = 1024;
+    for backend in [
+        EngineBackend::Sequential,
+        EngineBackend::Parallel { workers: 8 },
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("e3_congos_poisson_n1024", backend),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    let spec = RunSpec::new(N_LARGE, 0xE3, 48).backend(backend);
+                    let w = PoissonWorkload::new(2.0 / N_LARGE as f64, 3, 16, 0xE3)
+                        .until(Round(32));
+                    black_box(run::<CongosNode, _, _>(spec, NoFailures, w))
+                })
+            },
+        );
+    }
     g.finish();
 }
 

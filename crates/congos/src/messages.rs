@@ -4,7 +4,6 @@ use std::sync::Arc;
 
 use congos_gossip::GossipWire;
 use congos_sim::{IdSet, ProcessId, Tag};
-use serde::{Deserialize, Serialize};
 
 use crate::rumor::{CongosRumorId, Rumor};
 
@@ -15,7 +14,7 @@ use crate::rumor::{CongosRumorId, Rumor};
 /// paper deliberately attaches to fragments — destination set, deadline
 /// class, identity — which the protocol needs for routing and confirmation
 /// and which the confidentiality definition permits to circulate.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Fragment {
     /// Identity of the original rumor.
     pub rid: CongosRumorId,
@@ -50,7 +49,7 @@ impl Fragment {
 }
 
 /// Payload carried inside GroupGossip/AllGossip instances.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GossipPayload {
     /// Rumor fragments spreading within their group (the source's own-group
     /// injection, and proxies re-sharing fragments received from other
@@ -102,7 +101,7 @@ impl GossipPayload {
 }
 
 /// Identifies one gossip endpoint within a process.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum GossipLane {
     /// `GroupGossip[ℓ]` of a deadline class (the filtered instance for the
     /// sender's group in partition `ℓ`).
@@ -120,7 +119,7 @@ pub enum GossipLane {
 }
 
 /// The multiplexed message type of a CONGOS process.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CongosMsg {
     /// Traffic of a gossip endpoint. Payloads are `Arc`-shared: epidemic
     /// push clones a batch per target every round, and the payloads are the

@@ -2,7 +2,6 @@
 
 use congos_adversary::RumorSpec;
 use congos_sim::{IdSet, ProcessId, Round};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identity of an injected rumor: source process, injection round, and a
@@ -14,7 +13,7 @@ use std::fmt;
 /// `(source, birth)` pair disambiguates. The id is metadata the protocol
 /// deliberately shares (it appears in sanitized hit-sets); the paper notes
 /// it could be replaced by a pseudorandom identifier to leak less.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CongosRumorId {
     /// The process the rumor was injected at.
     pub source: ProcessId,
@@ -35,7 +34,7 @@ impl fmt::Debug for CongosRumorId {
 /// A rumor as handled by CONGOS: confidential payload, deadline duration,
 /// and destination set, plus the workload id used by experiments to
 /// correlate injections with deliveries.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Rumor {
     /// Workload-assigned id (experiment bookkeeping, not protocol state).
     pub wid: u64,

@@ -16,10 +16,9 @@
 //! fallback, bounded per-round complexity).
 
 use congos_sim::{IdSet, ProcessId, Round};
-use serde::{Deserialize, Serialize};
 
 /// How a gossip endpoint chooses its epidemic push targets.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum GossipStrategy {
     /// Uniform random members (the analysis-friendly randomized epidemic).
     #[default]

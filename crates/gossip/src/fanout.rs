@@ -14,12 +14,11 @@
 //! where the decay with `dline` is visible and (b) sweep the coefficient to
 //! exhibit the saturation crossover (experiment E9).
 
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the fanout formula
 /// `α · n^{γ/ᵏ√dline} · ln n / collaborators`, clamped to
 /// `[1, group_size − 1]`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FanoutParams {
     /// Multiplicative constant `α` (the paper's hidden Θ-constant).
     pub alpha: f64,

@@ -1,7 +1,6 @@
 //! Gossip-level rumors: identity, payload, deadline and destination set.
 
 use congos_sim::{IdSet, ProcessId, Round};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Globally unique rumor identity: the injecting process, the injection
@@ -15,7 +14,7 @@ use std::fmt;
 /// round, so two incarnations of a process never inject in the same round.
 /// (The paper notes the sequence number can be replaced by a pseudorandom
 /// identifier to leak less metadata; identity semantics are unchanged.)
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RumorId {
     /// Process that injected the rumor into this gossip instance.
     pub origin: ProcessId,
@@ -32,7 +31,7 @@ impl fmt::Debug for RumorId {
 }
 
 /// A rumor as carried by the continuous gossip service.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GossipRumor<T> {
     /// Unique identity.
     pub id: RumorId,

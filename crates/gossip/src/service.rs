@@ -7,7 +7,6 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 
 use congos_sim::{IdSet, ProcessId, Round, Tag};
-use serde::{Deserialize, Serialize};
 
 use crate::expander::{expander_targets, GossipStrategy};
 use crate::fanout::{fanout, FanoutParams};
@@ -19,7 +18,7 @@ use crate::rumor::{GossipRumor, RumorId};
 /// all of a process's push targets, so the envelope clone is a refcount
 /// bump rather than a deep copy (at `n` processes × fanout targets × many
 /// active rumors, deep copies dominate memory otherwise).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GossipWire<T> {
     /// Epidemic push of a batch of active rumors (one envelope, arbitrarily
     /// many rumors — the model allows unbounded message size and gossip

@@ -7,7 +7,7 @@ fn main() {
     for n in [16usize, 32, 64] {
         let deadline = 64u64;
         let rounds = 4 * deadline;
-        let spec = RunSpec { n, seed: 0xE3, rounds };
+        let spec = RunSpec::new(n, 0xE3, rounds);
         let w = PoissonWorkload::new(0.05, 3, deadline, 0xE3).until(Round(rounds - deadline));
         let o = run::<CongosNode, _, _>(spec, NoFailures, w);
         println!("n={n} max/rnd={}", o.metrics.max_per_round());

@@ -1,9 +1,11 @@
 //! Regenerates every experiment table (EXPERIMENTS.md).
 //!
 //! Flags: `--full` for the larger sweeps, `--csv` for machine-readable
-//! output, `--json <path>` to also write all tables as a JSON document.
+//! output, `--json <path>` to also write all tables as a JSON document,
+//! `--backend <seq|par[:N]>` for the execution backend.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    congos_harness::init_backend_from_args(&args);
     let full = args.iter().any(|a| a == "--full");
     let csv = args.iter().any(|a| a == "--csv");
     let json_path = args
@@ -22,13 +24,16 @@ fn main() {
         }
     }
     if let Some(path) = json_path {
-        let doc = serde_json::json!({
-            "suite": "confidential-gossip experiments",
-            "full": full,
-            "tables": tables.iter().map(|t| t.to_json()).collect::<Vec<_>>(),
-        });
-        std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("serialize"))
-            .expect("write json");
+        use congos_harness::Json;
+        let doc = Json::object([
+            ("suite", Json::from("confidential-gossip experiments")),
+            ("full", Json::from(full)),
+            (
+                "tables",
+                Json::Array(tables.iter().map(|t| t.to_json()).collect()),
+            ),
+        ]);
+        std::fs::write(&path, doc.to_string_pretty()).expect("write json");
         eprintln!("wrote {path}");
     }
 }

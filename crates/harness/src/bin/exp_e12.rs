@@ -1,7 +1,9 @@
 //! Regenerates experiment E12 (see EXPERIMENTS.md). Pass --full for the
-//! larger sweep, --csv for machine-readable output.
+//! larger sweep, --csv for machine-readable output, --backend <seq|par[:N]>
+//! for the execution backend.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    congos_harness::init_backend_from_args(&args);
     let full = args.iter().any(|a| a == "--full");
     let csv = args.iter().any(|a| a == "--csv");
     for table in congos_harness::experiments::e12_adaptivity::run(full) {

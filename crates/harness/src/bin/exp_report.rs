@@ -13,8 +13,8 @@ fn main() {
     let path = std::env::args()
         .nth(1)
         .expect("usage: exp_report <results.json>");
-    let doc: serde_json::Value =
-        serde_json::from_str(&std::fs::read_to_string(&path).expect("read results json"))
+    let doc: congos_harness::Json =
+        congos_harness::Json::parse(&std::fs::read_to_string(&path).expect("read results json"))
             .expect("parse results json");
 
     let mut out = String::new();

@@ -54,11 +54,7 @@ pub fn run(full: bool) -> Vec<Table> {
 
     let mut rows: Vec<(u64, u64)> = Vec::new(); // (msgs_total, bytes_total)
     for (name, cfg) in variants {
-        let spec = RunSpec {
-            n,
-            seed: 0xE10,
-            rounds,
-        };
+        let spec = RunSpec::new(n, 0xE10, rounds);
         let w = PoissonWorkload::new(0.02, dest_size, deadline, 0xE10)
             .until(Round(rounds - deadline))
             .data_len(16);

@@ -39,11 +39,7 @@ pub fn run(full: bool) -> Vec<Table> {
         ],
     );
     for &size in sizes {
-        let spec = RunSpec {
-            n,
-            seed: 0xE11,
-            rounds,
-        };
+        let spec = RunSpec::new(n, 0xE11, rounds);
         let w = || {
             PoissonWorkload::new(0.02, 3, deadline, 0xE11)
                 .until(Round(rounds - deadline))

@@ -52,11 +52,7 @@ pub fn run(full: bool) -> Vec<Table> {
     let mut congos_max = Vec::new();
 
     for &n in ns {
-        let spec = RunSpec {
-            n,
-            seed: 0xE1,
-            rounds: DMAX + 1,
-        };
+        let spec = RunSpec::new(n, 0xE1, DMAX + 1);
         let w = || Theorem1Workload::new(C, DMAX, 0xE1);
         let strong = run_system::<StronglyConfidentialNode, _, _>(spec, NoFailures, w());
         let congos = run_system::<CongosNode, _, _>(spec, NoFailures, w());

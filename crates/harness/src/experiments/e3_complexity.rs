@@ -12,11 +12,15 @@
 //! * **vs `dmin`** at fixed `n`: the service cost (Proxy +
 //!   GroupDistribution tags, metered exactly as Lemma 7 counts them —
 //!   excluding the gossip substrate) should *fall* as deadlines grow,
-//!   the `n^{48/√dmin}`-flavored decay.
+//!   the `n^{48/√dmin}`-flavored decay;
+//! * **vs backend** at large `n`: wall-clock of the sequential vs the
+//!   parallel engine on an identical spec, asserting the outcomes are
+//!   bit-identical (the determinism contract of
+//!   `congos_sim::EngineBackend`).
 
 use congos::{CongosNode, TAG_GD, TAG_PROXY};
 use congos_adversary::{NoFailures, PoissonWorkload};
-use congos_sim::Round;
+use congos_sim::{EngineBackend, Round};
 
 use crate::run::{run as run_system, RunSpec};
 use crate::stats::fit_power_law;
@@ -44,11 +48,7 @@ pub fn run(full: bool) -> Vec<Table> {
         let mut mean_pr = Vec::new();
         for &n in ns {
             let rounds = 3 * deadline.min(512) + deadline;
-            let spec = RunSpec {
-                n,
-                seed: 0xE3,
-                rounds,
-            };
+            let spec = RunSpec::new(n, 0xE3, rounds);
             let w =
                 PoissonWorkload::new(0.05, 3, deadline, 0xE3).until(Round(rounds - deadline));
             let o = run_system::<CongosNode, _, _>(spec, NoFailures, w);
@@ -98,11 +98,7 @@ pub fn run(full: bool) -> Vec<Table> {
     let mut svc_max = Vec::new();
     for &d in deadlines {
         let rounds = 3 * d;
-        let spec = RunSpec {
-            n,
-            seed: 0xE3B,
-            rounds,
-        };
+        let spec = RunSpec::new(n, 0xE3B, rounds);
         // Fix the *number* of rumors per round so only the deadline varies.
         let w = PoissonWorkload::new(0.05, 3, d, 0xE3B).until(Round(rounds - d));
         let o = run_system::<CongosNode, _, _>(spec, NoFailures, w);
@@ -127,15 +123,56 @@ pub fn run(full: bool) -> Vec<Table> {
         "service max-per-round scales as dline^{b:.2} (negative = the Lemma 7 decay)"
     ));
     out.push(t);
+
+    // ---- Sweep backends at large n (engine scaling). ---------------
+    // The workload stays light (≈2 rumors/round, direct path) so the
+    // engine's per-round fan-out over the processes dominates — that is
+    // the part EngineBackend::Parallel shards. Outcomes must be
+    // bit-identical; only wall clock may differ, and the speedup is
+    // bounded by the host's physical core count.
+    let ns: &[usize] = if full { &[512, 1024, 2048] } else { &[256, 1024] };
+    let mut t = Table::new(
+        "E3c: engine wall-clock vs backend at large n",
+        &["n", "seq_ms", "par8_ms", "speedup", "msgs"],
+    );
+    for &n in ns {
+        let rounds = 48u64;
+        let mk = || PoissonWorkload::new(2.0 / n as f64, 3, 16, 0xE3C).until(Round(32));
+        let run_on = |backend| {
+            let spec = RunSpec::new(n, 0xE3C, rounds).backend(backend);
+            let t0 = std::time::Instant::now();
+            let o = run_system::<CongosNode, _, _>(spec, NoFailures, mk());
+            (t0.elapsed().as_secs_f64() * 1e3, o)
+        };
+        let (ms_seq, o_seq) = run_on(EngineBackend::Sequential);
+        let (ms_par, o_par) = run_on(EngineBackend::Parallel { workers: 8 });
+        assert_eq!(
+            o_seq.deliveries, o_par.deliveries,
+            "n={n}: backends must be bit-identical"
+        );
+        assert_eq!(o_seq.metrics.total(), o_par.metrics.total());
+        t.row(vec![
+            n.to_string(),
+            format!("{ms_seq:.1}"),
+            format!("{ms_par:.1}"),
+            format!("{:.2}x", ms_seq / ms_par.max(1e-9)),
+            o_seq.metrics.total().to_string(),
+        ]);
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    t.note(format!(
+        "host exposes {cores} core(s); speedup is bounded by physical cores         and ~1x on a single-core host — outcomes are bit-identical on every backend"
+    ));
+    out.push(t);
     out
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
-    fn e3_produces_both_sweeps() {
+    fn e3_produces_all_sweeps() {
         let tables = super::run(false);
-        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.len(), 3);
         assert!(tables.iter().all(|t| !t.is_empty()));
     }
 }

@@ -29,11 +29,7 @@ pub fn run(full: bool) -> Vec<Table> {
     let mut ys = Vec::new();
     for &tau in taus {
         let cfg = CongosConfig::collusion_tolerant(tau, 0xE6).without_degenerate_shortcut();
-        let spec = RunSpec {
-            n,
-            seed: 0xE6 + tau as u64,
-            rounds,
-        };
+        let spec = RunSpec::new(n, 0xE6 + tau as u64, rounds);
         let workload =
             PoissonWorkload::new(0.02, 3, deadline, 0xE6).until(Round(rounds - deadline));
         let cfg2 = cfg.clone();

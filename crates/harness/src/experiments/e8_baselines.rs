@@ -49,11 +49,7 @@ fn regime(
         title,
         &["system", "total", "max/rnd", "mean/rnd", "rekey_msgs", "rekey/copy", "on_time%"],
     );
-    let spec = RunSpec {
-        n,
-        seed: 0xE8,
-        rounds,
-    };
+    let spec = RunSpec::new(n, 0xE8, rounds);
     macro_rules! go {
         ($P:ty) => {{
             if fresh {

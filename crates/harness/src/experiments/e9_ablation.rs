@@ -102,11 +102,7 @@ pub fn run(full: bool) -> Vec<Table> {
             gamma,
             root: 2,
         });
-        let spec = RunSpec {
-            n,
-            seed: 0xE9B,
-            rounds,
-        };
+        let spec = RunSpec::new(n, 0xE9B, rounds);
         let w = PoissonWorkload::new(0.03, 3, deadline, 0xE9B).until(Round(rounds - deadline));
         let cfg2 = cfg.clone();
         let o = run_with_factory::<CongosNode, _, _>(
@@ -136,11 +132,7 @@ pub fn run(full: bool) -> Vec<Table> {
         ("expander", GossipStrategy::Expander),
     ] {
         let cfg = CongosConfig::base().gossip_strategy(strategy);
-        let spec = RunSpec {
-            n,
-            seed: 0xE9C,
-            rounds,
-        };
+        let spec = RunSpec::new(n, 0xE9C, rounds);
         let w = PoissonWorkload::new(0.03, 3, deadline, 0xE9C).until(Round(rounds - deadline));
         let cfg_engine = cfg.clone();
         let mut adv = CrriAdversary::new(NoFailures, w);

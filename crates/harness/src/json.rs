@@ -1,0 +1,486 @@
+//! A minimal JSON value, writer and parser.
+//!
+//! The experiment binaries exchange result tables as JSON documents
+//! (`exp_all --json` → `exp_report`). The build environment has no registry
+//! access, so instead of `serde_json` this module provides the small value
+//! model those tools need: construction, pretty printing, parsing, and
+//! `value["key"][idx]`-style access.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null` (also returned when indexing misses).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`, like `serde_json`'s arbitrary numbers).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with stable (sorted) key order.
+    Object(BTreeMap<String, Json>),
+}
+
+static NULL: Json = Json::Null;
+
+impl Json {
+    /// Object constructor from `(key, value)` pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out
+    }
+
+    /// Serializes compactly.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize, pretty: bool) {
+        let nl = |out: &mut String, d: usize| {
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(d));
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(x) => {
+                if x.fract() == 0.0 && x.abs() < 9e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::String(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    nl(out, depth + 1);
+                    item.write(out, depth + 1, pretty);
+                }
+                if !items.is_empty() {
+                    nl(out, depth);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    nl(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write(out, depth + 1, pretty);
+                }
+                if !map.is_empty() {
+                    nl(out, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax error.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl std::ops::Index<&str> for Json {
+    type Output = Json;
+    fn index(&self, key: &str) -> &Json {
+        match self {
+            Json::Object(map) => map.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Json {
+    type Output = Json;
+    fn index(&self, idx: usize) -> &Json {
+        match self {
+            Json::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Json {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::String(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::String(s)
+    }
+}
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Number(x)
+    }
+}
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Number(x as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Number(x as f64)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Clone + Into<Json>> From<&[T]> for Json {
+    fn from(v: &[T]) -> Json {
+        Json::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = self
+                .peek()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for this
+                            // repository's ASCII table output.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the byte slice.
+                    let start = self.pos - 1;
+                    let len = utf8_len(c);
+                    let slice = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| "truncated utf-8".to_string())?;
+                    let s = std::str::from_utf8(slice).map_err(|_| "bad utf-8")?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_pretty_and_compact() {
+        let doc = Json::object([
+            ("title", Json::from("demo")),
+            ("full", Json::from(true)),
+            ("count", Json::from(42u64)),
+            (
+                "rows",
+                Json::Array(vec![Json::from(vec!["a", "b"]), Json::from(vec!["1", "2"])]),
+            ),
+        ]);
+        for rendered in [doc.to_string_pretty(), doc.to_string_compact()] {
+            let back = Json::parse(&rendered).expect("parse");
+            assert_eq!(back, doc);
+        }
+    }
+
+    #[test]
+    fn indexing_misses_return_null() {
+        let doc = Json::object([("a", Json::from(1u64))]);
+        assert_eq!(doc["missing"], Json::Null);
+        assert_eq!(doc["a"][3], Json::Null);
+        assert_eq!(doc["a"].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn string_escapes_survive() {
+        let doc = Json::from("line\none \"two\"\t\\");
+        let back = Json::parse(&doc.to_string_compact()).expect("parse");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn parses_negative_and_fractional_numbers() {
+        let v = Json::parse("[-1, 2.5, 1e3]").expect("parse");
+        let a = v.as_array().expect("array");
+        assert_eq!(a[0].as_f64(), Some(-1.0));
+        assert_eq!(a[1].as_f64(), Some(2.5));
+        assert_eq!(a[2].as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"open").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+}

@@ -22,18 +22,25 @@
 //!
 //! Run any experiment with `cargo run --release -p congos-harness --bin
 //! exp_e1` (etc.), or all of them with `exp_all`. Pass `--full` for the
-//! larger sweeps.
+//! larger sweeps, and `--backend <seq|par[:N]>` (or set `CONGOS_BACKEND`)
+//! to pick the execution backend — results are bit-identical on every
+//! backend; only wall-clock time changes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod run;
 pub mod stats;
 pub mod system;
 pub mod table;
 
-pub use run::{run, run_with_factory, DeliveryRecord, Logged, QodSummary, RunOutcome, RunSpec};
+pub use json::Json;
+pub use run::{
+    default_backend, init_backend_from_args, run, run_with_factory, set_default_backend,
+    DeliveryRecord, Logged, QodSummary, RunOutcome, RunSpec,
+};
 pub use stats::{fit_power_law, percentile};
 pub use system::GossipSystem;
 pub use table::{tables_to_markdown, Table};

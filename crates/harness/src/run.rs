@@ -4,7 +4,7 @@ use congos_adversary::{
     CrriAdversary, FailurePlan, InjectionLogEntry, InjectionPlan, OneShot, PoissonWorkload,
     RumorSpec, StableGroupWorkload, Theorem1Workload,
 };
-use congos_sim::{Engine, EngineConfig, Metrics, ProcessId, Round};
+use congos_sim::{Engine, EngineBackend, EngineConfig, Metrics, ProcessId, Round};
 
 use crate::system::GossipSystem;
 
@@ -47,6 +47,74 @@ pub struct RunSpec {
     pub seed: u64,
     /// Rounds to execute.
     pub rounds: u64,
+    /// Execution backend (outcome-invariant; affects wall clock only).
+    pub backend: EngineBackend,
+}
+
+impl RunSpec {
+    /// Spec for `n` processes, `rounds` rounds, on the process-wide default
+    /// backend (see [`default_backend`]).
+    pub fn new(n: usize, seed: u64, rounds: u64) -> Self {
+        RunSpec {
+            n,
+            seed,
+            rounds,
+            backend: default_backend(),
+        }
+    }
+
+    /// Selects the execution backend (the measured outcome is identical on
+    /// every backend; only wall-clock time changes).
+    pub fn backend(mut self, backend: EngineBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+static DEFAULT_BACKEND: std::sync::OnceLock<EngineBackend> = std::sync::OnceLock::new();
+
+/// Installs the process-wide default backend used by [`RunSpec::new`].
+/// First writer wins; call before any run. Returns `false` if the default
+/// had already been resolved (set or read).
+pub fn set_default_backend(backend: EngineBackend) -> bool {
+    DEFAULT_BACKEND.set(backend).is_ok()
+}
+
+/// The process-wide default backend: whatever [`set_default_backend`]
+/// installed, else the `CONGOS_BACKEND` env var (`seq` or `par[:N]`), else
+/// [`EngineBackend::Sequential`]. Every experiment outcome is identical on
+/// every backend — this only selects wall-clock behavior.
+pub fn default_backend() -> EngineBackend {
+    *DEFAULT_BACKEND.get_or_init(|| {
+        std::env::var("CONGOS_BACKEND")
+            .ok()
+            .and_then(|s| match s.parse() {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("ignoring CONGOS_BACKEND: {e}");
+                    None
+                }
+            })
+            .unwrap_or_default()
+    })
+}
+
+/// Applies a `--backend <seq|par[:N]>` CLI flag (if present) as the
+/// process-wide default backend and returns the active default. Intended
+/// for the `exp_*` binaries.
+///
+/// # Panics
+///
+/// Panics on a malformed or missing flag value.
+pub fn init_backend_from_args(args: &[String]) -> EngineBackend {
+    if let Some(i) = args.iter().position(|a| a == "--backend") {
+        let value = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--backend needs a value: seq or par[:N]"));
+        let backend: EngineBackend = value.parse().unwrap_or_else(|e| panic!("{e}"));
+        set_default_backend(backend);
+    }
+    default_backend()
 }
 
 /// A delivery, correlated by workload id.
@@ -122,8 +190,10 @@ impl RunOutcome {
 /// injection plans.
 pub fn run<P, F, W>(spec: RunSpec, failures: F, workload: W) -> RunOutcome
 where
-    P: GossipSystem,
-    P::Input: From<RumorSpec>,
+    P: GossipSystem + Send,
+    P::Msg: Send,
+    P::Input: From<RumorSpec> + Send,
+    P::Output: Send,
     F: FailurePlan,
     W: InjectionPlan + Logged,
 {
@@ -138,15 +208,17 @@ pub fn run_with_factory<P, F, W>(
     workload: W,
 ) -> RunOutcome
 where
-    P: GossipSystem,
-    P::Input: From<RumorSpec>,
+    P: GossipSystem + Send,
+    P::Msg: Send,
+    P::Input: From<RumorSpec> + Send,
+    P::Output: Send,
     F: FailurePlan,
     W: InjectionPlan + Logged,
 {
     let mut engine =
         Engine::<P>::with_factory(EngineConfig::new(spec.n).seed(spec.seed), factory);
     let mut adv = CrriAdversary::new(failures, workload);
-    engine.run(spec.rounds, &mut adv);
+    engine.run_backend(spec.backend, spec.rounds, &mut adv);
 
     let deliveries: Vec<DeliveryRecord> = engine
         .outputs()
@@ -207,11 +279,7 @@ mod tests {
 
     #[test]
     fn direct_run_is_perfect() {
-        let spec = RunSpec {
-            n: 8,
-            seed: 1,
-            rounds: 40,
-        };
+        let spec = RunSpec::new(8, 1, 40);
         let w = PoissonWorkload::new(0.1, 3, 16, 2).until(Round(20));
         let out = run::<DirectNode, _, _>(spec, NoFailures, w);
         assert!(out.qod.perfect());
@@ -222,11 +290,7 @@ mod tests {
 
     #[test]
     fn qod_accounts_churn_exemptions() {
-        let spec = RunSpec {
-            n: 12,
-            seed: 3,
-            rounds: 96,
-        };
+        let spec = RunSpec::new(12, 3, 96);
         let w = PoissonWorkload::new(0.05, 3, 32, 4).until(Round(60));
         let churn = RandomChurn::new(0.01, 0.2, 5);
         let out = run::<GossipNode, _, _>(spec, churn, w);

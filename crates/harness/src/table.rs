@@ -108,13 +108,17 @@ impl Table {
     }
 
     /// Renders the table as a JSON object (title, headers, rows, notes).
-    pub fn to_json(&self) -> serde_json::Value {
-        serde_json::json!({
-            "title": self.title,
-            "headers": self.headers,
-            "rows": self.rows,
-            "notes": self.notes,
-        })
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::object([
+            ("title", Json::from(self.title.clone())),
+            ("headers", Json::from(self.headers.clone())),
+            (
+                "rows",
+                Json::Array(self.rows.iter().cloned().map(Json::from).collect()),
+            ),
+            ("notes", Json::from(self.notes.clone())),
+        ])
     }
 }
 

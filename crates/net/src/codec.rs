@@ -1,18 +1,22 @@
-//! Wire framing: length-prefixed JSON.
+//! Wire framing: length-prefixed binary.
 //!
-//! JSON keeps the demo runtime dependency-light and debuggable (you can
-//! `tcpdump` a round and read it); a production deployment would swap in a
-//! binary codec behind the same two functions.
+//! The codec is hand-rolled (no external serialization dependency): each
+//! type is written as fixed-width little-endian fields plus length-prefixed
+//! sequences, with one discriminant byte per enum. The format is internal
+//! to the cluster runtime — both ends run the same build — so there is no
+//! versioning; a production deployment would add a version byte behind the
+//! same two functions.
 
 use std::io::{self, Read, Write};
+use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
-use congos::CongosMsg;
-use congos_sim::ProcessId;
+use congos::messages::GossipLane;
+use congos::{CongosMsg, CongosRumorId, Fragment, GossipPayload, Rumor};
+use congos_gossip::{GossipRumor, GossipWire, RumorId};
+use congos_sim::{IdSet, ProcessId, Round};
 
 /// One framed unit on the wire.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum WireFrame {
     /// A protocol message for this node, sent in round `round`.
     Msg {
@@ -35,18 +39,20 @@ pub enum WireFrame {
     },
 }
 
-/// Writes one frame: a little-endian `u32` length followed by JSON bytes.
+/// Writes one frame: a little-endian `u32` length followed by the binary
+/// encoding.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer; serialization of [`WireFrame`]
 /// itself cannot fail.
 pub fn encode_frame<W: Write>(w: &mut W, frame: &WireFrame) -> io::Result<()> {
-    let bytes = serde_json::to_vec(frame).expect("WireFrame serializes");
-    let len = u32::try_from(bytes.len())
+    let mut buf = Vec::with_capacity(64);
+    put_frame(&mut buf, frame);
+    let len = u32::try_from(buf.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame too large"))?;
     w.write_all(&len.to_le_bytes())?;
-    w.write_all(&bytes)
+    w.write_all(&buf)
 }
 
 /// Reads one frame written by [`encode_frame`].
@@ -54,15 +60,447 @@ pub fn encode_frame<W: Write>(w: &mut W, frame: &WireFrame) -> io::Result<()> {
 /// # Errors
 ///
 /// Returns the underlying I/O error (including clean EOF as
-/// `UnexpectedEof`) or an `InvalidData` error for malformed JSON.
+/// `UnexpectedEof`) or an `InvalidData` error for a malformed encoding.
 pub fn decode_frame<R: Read>(r: &mut R) -> io::Result<WireFrame> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf) as usize;
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
-    serde_json::from_slice(&buf)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    let mut dec = Dec { buf: &buf, pos: 0 };
+    let frame = take_frame(&mut dec)?;
+    if dec.pos != buf.len() {
+        return Err(bad("trailing bytes in frame"));
+    }
+    Ok(frame)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+fn put_pid(buf: &mut Vec<u8>, p: ProcessId) {
+    put_u32(buf, p.as_usize() as u32);
+}
+fn put_idset(buf: &mut Vec<u8>, s: &IdSet) {
+    put_u32(buf, s.universe() as u32);
+    let ids: Vec<ProcessId> = s.iter().collect();
+    put_u32(buf, ids.len() as u32);
+    for p in ids {
+        put_pid(buf, p);
+    }
+}
+fn put_crid(buf: &mut Vec<u8>, id: &CongosRumorId) {
+    put_pid(buf, id.source);
+    put_u64(buf, id.birth.0);
+    put_u32(buf, id.seq);
+}
+fn put_rid(buf: &mut Vec<u8>, id: &RumorId) {
+    put_pid(buf, id.origin);
+    put_u64(buf, id.birth.0);
+    put_u32(buf, id.seq);
+}
+fn put_fragment(buf: &mut Vec<u8>, f: &Fragment) {
+    put_crid(buf, &f.rid);
+    put_u64(buf, f.wid);
+    put_u16(buf, f.partition);
+    put_u8(buf, f.group);
+    put_u8(buf, f.k);
+    put_bytes(buf, &f.bytes);
+    put_idset(buf, &f.dest);
+    put_u64(buf, f.dline);
+}
+fn put_hits(buf: &mut Vec<u8>, hits: &[(ProcessId, CongosRumorId)]) {
+    put_u32(buf, hits.len() as u32);
+    for (p, id) in hits {
+        put_pid(buf, *p);
+        put_crid(buf, id);
+    }
+}
+fn put_payload(buf: &mut Vec<u8>, p: &GossipPayload) {
+    match p {
+        GossipPayload::Fragments(frags) => {
+            put_u8(buf, 0);
+            put_u32(buf, frags.len() as u32);
+            for f in frags {
+                put_fragment(buf, f);
+            }
+        }
+        GossipPayload::ProxyMeta { failed_proxies } => {
+            put_u8(buf, 1);
+            put_u32(buf, failed_proxies.len() as u32);
+            for p in failed_proxies {
+                put_pid(buf, *p);
+            }
+        }
+        GossipPayload::GdShare { hits } => {
+            put_u8(buf, 2);
+            put_hits(buf, hits);
+        }
+        GossipPayload::Distribution {
+            partition,
+            group,
+            hits,
+        } => {
+            put_u8(buf, 3);
+            put_u16(buf, *partition);
+            put_u8(buf, *group);
+            put_hits(buf, hits);
+        }
+    }
+}
+fn put_lane(buf: &mut Vec<u8>, lane: &GossipLane) {
+    match lane {
+        GossipLane::Group { dline, ell } => {
+            put_u8(buf, 0);
+            put_u64(buf, *dline);
+            put_u16(buf, *ell);
+        }
+        GossipLane::All { dline } => {
+            put_u8(buf, 1);
+            put_u64(buf, *dline);
+        }
+    }
+}
+fn put_gossip_rumor(buf: &mut Vec<u8>, r: &GossipRumor<Arc<GossipPayload>>) {
+    put_rid(buf, &r.id);
+    put_payload(buf, &r.payload);
+    put_u64(buf, r.duration);
+    put_u64(buf, r.deadline.0);
+    put_idset(buf, &r.dest);
+}
+fn put_wire(buf: &mut Vec<u8>, w: &GossipWire<Arc<GossipPayload>>) {
+    match w {
+        GossipWire::Push(rumors) => {
+            put_u8(buf, 0);
+            put_u32(buf, rumors.len() as u32);
+            for r in rumors.iter() {
+                put_gossip_rumor(buf, r);
+            }
+        }
+        GossipWire::Ack(ids) => {
+            put_u8(buf, 1);
+            put_u32(buf, ids.len() as u32);
+            for id in ids {
+                put_rid(buf, id);
+            }
+        }
+    }
+}
+fn put_rumor(buf: &mut Vec<u8>, r: &Rumor) {
+    put_u64(buf, r.wid);
+    put_bytes(buf, &r.data);
+    put_u64(buf, r.deadline);
+    put_idset(buf, &r.dest);
+}
+fn put_msg(buf: &mut Vec<u8>, m: &CongosMsg) {
+    match m {
+        CongosMsg::Gossip { lane, wire } => {
+            put_u8(buf, 0);
+            put_lane(buf, lane);
+            put_wire(buf, wire);
+        }
+        CongosMsg::ProxyRequest {
+            dline,
+            ell,
+            fragments,
+        } => {
+            put_u8(buf, 1);
+            put_u64(buf, *dline);
+            put_u16(buf, *ell);
+            put_u32(buf, fragments.len() as u32);
+            for f in fragments {
+                put_fragment(buf, f);
+            }
+        }
+        CongosMsg::ProxyAck { dline, ell } => {
+            put_u8(buf, 2);
+            put_u64(buf, *dline);
+            put_u16(buf, *ell);
+        }
+        CongosMsg::Partials {
+            dline,
+            ell,
+            fragments,
+        } => {
+            put_u8(buf, 3);
+            put_u64(buf, *dline);
+            put_u16(buf, *ell);
+            put_u32(buf, fragments.len() as u32);
+            for f in fragments {
+                put_fragment(buf, f);
+            }
+        }
+        CongosMsg::Shoot { rumor, rid, direct } => {
+            put_u8(buf, 4);
+            put_rumor(buf, rumor);
+            put_crid(buf, rid);
+            put_u8(buf, u8::from(*direct));
+        }
+    }
+}
+fn put_frame(buf: &mut Vec<u8>, f: &WireFrame) {
+    match f {
+        WireFrame::Msg {
+            src,
+            round,
+            tag,
+            payload,
+        } => {
+            put_u8(buf, 0);
+            put_pid(buf, *src);
+            put_u64(buf, *round);
+            put_bytes(buf, tag.as_bytes());
+            put_msg(buf, payload);
+        }
+        WireFrame::EndOfRound { src, round } => {
+            put_u8(buf, 1);
+            put_pid(buf, *src);
+            put_u64(buf, *round);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- decoding
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Dec<'_> {
+    fn take(&mut self, n: usize) -> io::Result<&[u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad("truncated frame"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    /// Length prefix bounded by the remaining bytes (a corrupt length must
+    /// not cause a huge allocation).
+    fn len(&mut self) -> io::Result<usize> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(bad("length prefix exceeds frame"));
+        }
+        Ok(n)
+    }
+    fn bytes(&mut self) -> io::Result<Vec<u8>> {
+        let n = self.len()?;
+        Ok(self.take(n)?.to_vec())
+    }
+    /// Element count for sequences of elements occupying >= 1 byte each.
+    fn count(&mut self) -> io::Result<usize> {
+        self.len()
+    }
+}
+
+fn take_pid(d: &mut Dec) -> io::Result<ProcessId> {
+    Ok(ProcessId::new(d.u32()? as usize))
+}
+fn take_idset(d: &mut Dec) -> io::Result<IdSet> {
+    let universe = d.u32()? as usize;
+    let count = d.count()?;
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        ids.push(take_pid(d)?);
+    }
+    if ids.iter().any(|p| p.as_usize() >= universe) {
+        return Err(bad("idset member outside universe"));
+    }
+    Ok(IdSet::from_iter(universe, ids))
+}
+fn take_crid(d: &mut Dec) -> io::Result<CongosRumorId> {
+    Ok(CongosRumorId {
+        source: take_pid(d)?,
+        birth: Round(d.u64()?),
+        seq: d.u32()?,
+    })
+}
+fn take_rid(d: &mut Dec) -> io::Result<RumorId> {
+    Ok(RumorId {
+        origin: take_pid(d)?,
+        birth: Round(d.u64()?),
+        seq: d.u32()?,
+    })
+}
+fn take_fragment(d: &mut Dec) -> io::Result<Fragment> {
+    Ok(Fragment {
+        rid: take_crid(d)?,
+        wid: d.u64()?,
+        partition: d.u16()?,
+        group: d.u8()?,
+        k: d.u8()?,
+        bytes: d.bytes()?,
+        dest: take_idset(d)?,
+        dline: d.u64()?,
+    })
+}
+fn take_fragments(d: &mut Dec) -> io::Result<Vec<Fragment>> {
+    let count = d.count()?;
+    let mut v = Vec::with_capacity(count);
+    for _ in 0..count {
+        v.push(take_fragment(d)?);
+    }
+    Ok(v)
+}
+fn take_hits(d: &mut Dec) -> io::Result<Vec<(ProcessId, CongosRumorId)>> {
+    let count = d.count()?;
+    let mut v = Vec::with_capacity(count);
+    for _ in 0..count {
+        v.push((take_pid(d)?, take_crid(d)?));
+    }
+    Ok(v)
+}
+fn take_payload(d: &mut Dec) -> io::Result<GossipPayload> {
+    match d.u8()? {
+        0 => Ok(GossipPayload::Fragments(take_fragments(d)?)),
+        1 => {
+            let count = d.count()?;
+            let mut failed_proxies = Vec::with_capacity(count);
+            for _ in 0..count {
+                failed_proxies.push(take_pid(d)?);
+            }
+            Ok(GossipPayload::ProxyMeta { failed_proxies })
+        }
+        2 => Ok(GossipPayload::GdShare {
+            hits: take_hits(d)?,
+        }),
+        3 => Ok(GossipPayload::Distribution {
+            partition: d.u16()?,
+            group: d.u8()?,
+            hits: take_hits(d)?,
+        }),
+        _ => Err(bad("bad GossipPayload discriminant")),
+    }
+}
+fn take_lane(d: &mut Dec) -> io::Result<GossipLane> {
+    match d.u8()? {
+        0 => Ok(GossipLane::Group {
+            dline: d.u64()?,
+            ell: d.u16()?,
+        }),
+        1 => Ok(GossipLane::All { dline: d.u64()? }),
+        _ => Err(bad("bad GossipLane discriminant")),
+    }
+}
+fn take_gossip_rumor(d: &mut Dec) -> io::Result<GossipRumor<Arc<GossipPayload>>> {
+    Ok(GossipRumor {
+        id: take_rid(d)?,
+        payload: Arc::new(take_payload(d)?),
+        duration: d.u64()?,
+        deadline: Round(d.u64()?),
+        dest: take_idset(d)?,
+    })
+}
+fn take_wire(d: &mut Dec) -> io::Result<GossipWire<Arc<GossipPayload>>> {
+    match d.u8()? {
+        0 => {
+            let count = d.count()?;
+            let mut rumors = Vec::with_capacity(count);
+            for _ in 0..count {
+                rumors.push(take_gossip_rumor(d)?);
+            }
+            Ok(GossipWire::Push(Arc::new(rumors)))
+        }
+        1 => {
+            let count = d.count()?;
+            let mut ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                ids.push(take_rid(d)?);
+            }
+            Ok(GossipWire::Ack(ids))
+        }
+        _ => Err(bad("bad GossipWire discriminant")),
+    }
+}
+fn take_rumor(d: &mut Dec) -> io::Result<Rumor> {
+    Ok(Rumor {
+        wid: d.u64()?,
+        data: d.bytes()?,
+        deadline: d.u64()?,
+        dest: take_idset(d)?,
+    })
+}
+fn take_msg(d: &mut Dec) -> io::Result<CongosMsg> {
+    match d.u8()? {
+        0 => Ok(CongosMsg::Gossip {
+            lane: take_lane(d)?,
+            wire: Box::new(take_wire(d)?),
+        }),
+        1 => Ok(CongosMsg::ProxyRequest {
+            dline: d.u64()?,
+            ell: d.u16()?,
+            fragments: take_fragments(d)?,
+        }),
+        2 => Ok(CongosMsg::ProxyAck {
+            dline: d.u64()?,
+            ell: d.u16()?,
+        }),
+        3 => Ok(CongosMsg::Partials {
+            dline: d.u64()?,
+            ell: d.u16()?,
+            fragments: take_fragments(d)?,
+        }),
+        4 => Ok(CongosMsg::Shoot {
+            rumor: take_rumor(d)?,
+            rid: take_crid(d)?,
+            direct: match d.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(bad("bad bool")),
+            },
+        }),
+        _ => Err(bad("bad CongosMsg discriminant")),
+    }
+}
+fn take_frame(d: &mut Dec) -> io::Result<WireFrame> {
+    match d.u8()? {
+        0 => Ok(WireFrame::Msg {
+            src: take_pid(d)?,
+            round: d.u64()?,
+            tag: String::from_utf8(d.bytes()?).map_err(|_| bad("tag not utf-8"))?,
+            payload: take_msg(d)?,
+        }),
+        1 => Ok(WireFrame::EndOfRound {
+            src: take_pid(d)?,
+            round: d.u64()?,
+        }),
+        _ => Err(bad("bad WireFrame discriminant")),
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +569,7 @@ mod tests {
 
     #[test]
     fn gossip_wire_serializes_through_arc() {
-        // The Arc-shared gossip payloads must survive the codec (serde "rc").
+        // The Arc-shared gossip payloads must survive the codec.
         use congos::messages::GossipLane;
         use congos::GossipPayload;
         use congos_gossip::{GossipRumor, GossipWire, RumorId};
@@ -163,5 +601,31 @@ mod tests {
         encode_frame(&mut buf, &frame).unwrap();
         let back = decode_frame(&mut std::io::Cursor::new(buf)).unwrap();
         assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn malformed_frames_error_cleanly() {
+        // Bad discriminant.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[9u8, 0]);
+        assert!(decode_frame(&mut std::io::Cursor::new(buf)).is_err());
+        // Truncated body.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 5]);
+        assert!(decode_frame(&mut std::io::Cursor::new(buf)).is_err());
+        // Length prefix pointing past the frame end.
+        let frame = WireFrame::Msg {
+            src: ProcessId::new(1),
+            round: 0,
+            tag: "shoot".into(),
+            payload: sample_msg(),
+        };
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, &frame).unwrap();
+        // Corrupt the tag length (offset: 4 frame len + 1 disc + 4 pid + 8 round).
+        buf[17] = 0xFF;
+        assert!(decode_frame(&mut std::io::Cursor::new(buf)).is_err());
     }
 }

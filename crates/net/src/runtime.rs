@@ -6,8 +6,8 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
 
 use congos::{tag_by_name, CongosConfig, CongosInput, CongosNode, DeliveredRumor};
 use congos_sim::rng::{fork_rng, fork_seed};
@@ -121,20 +121,21 @@ pub fn run_cluster(
             let errors = Arc::clone(&errors);
             scope.spawn(move || {
                 if let Err(e) = node_main(i, listener, cfg, my_inj, &outputs, &messages) {
-                    errors.lock().push(e);
+                    errors.lock().expect("error sink").push(e);
                 }
             });
         }
     });
 
-    if let Some(e) = errors.lock().pop() {
+    if let Some(e) = errors.lock().expect("error sink").pop() {
         return Err(e);
     }
     let mut outs = Arc::try_unwrap(outputs)
         .unwrap_or_else(|_| unreachable!("threads joined"))
-        .into_inner();
+        .into_inner()
+        .expect("outputs lock");
     outs.sort_by_key(|o| (o.round, o.process));
-    let messages = *messages.lock();
+    let messages = *messages.lock().expect("messages lock");
     Ok(NetReport {
         deliveries: outs,
         messages,
@@ -162,7 +163,7 @@ pub fn run_node_process(
     let outputs = Mutex::new(Vec::new());
     let messages = Mutex::new(0u64);
     node_main(id, listener, cfg, injections, &outputs, &messages)?;
-    let mut outs = outputs.into_inner();
+    let mut outs = outputs.into_inner().expect("outputs lock");
     outs.sort_by_key(|o| (o.round, o.process));
     Ok(outs)
 }
@@ -180,7 +181,7 @@ fn node_main(
 
     // Inbound: accept n−1 peers; each gets a reader thread feeding one
     // channel of frames.
-    let (frame_tx, frame_rx): (Sender<WireFrame>, Receiver<WireFrame>) = unbounded();
+    let (frame_tx, frame_rx): (Sender<WireFrame>, Receiver<WireFrame>) = channel();
     if n > 1 {
         let accept_tx = frame_tx.clone();
         let accept_handle = std::thread::spawn(move || -> io::Result<Vec<_>> {
@@ -378,8 +379,8 @@ fn node_rounds(
         node.receive(&mut ctx, &inbox, input);
     }
 
-    outputs.lock().extend(local_outputs);
-    *messages.lock() += sent;
+    outputs.lock().expect("outputs lock").extend(local_outputs);
+    *messages.lock().expect("messages lock") += sent;
     Ok(())
 }
 

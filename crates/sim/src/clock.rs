@@ -6,13 +6,12 @@
 //! block boundaries even after a restart — the only state a restarted process
 //! retains is the global round number.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A globally numbered synchronous round.
 #[derive(
-    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct Round(pub u64);
 
@@ -83,7 +82,7 @@ impl Sub<Round> for Round {
 /// assert!(clock.is_block_start(Round(32)));
 /// assert_eq!(clock.iteration_of(Round(3)), Some(0));
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BlockClock {
     dline: u64,
     block_len: u64,

@@ -18,6 +18,24 @@
 //!
 //! Restarted processes are reset to `Protocol::new(..)` (no durable storage)
 //! and are told the current global round via [`Protocol::on_start`].
+//!
+//! # Execution backends
+//!
+//! The send and compute phases are *embarrassingly parallel across
+//! processes*: each process touches only its own state, RNG stream and
+//! per-slot buffers. [`EngineBackend::Parallel`] exploits this with scoped
+//! worker threads while preserving **bit-identical** traces and metrics
+//! with [`EngineBackend::Sequential`]:
+//!
+//! * every process draws from its own forked RNG stream, so concurrency
+//!   cannot reorder random choices;
+//! * workers write envelopes, metric events and outputs into per-process
+//!   arenas, which the engine merges *in process-id order* at the phase
+//!   barrier — the merged order equals the sequential iteration order by
+//!   construction;
+//! * the adversary, delivery and bookkeeping phases stay sequential, so an
+//!   adaptive adversary observes exactly the ordered outbox snapshot it
+//!   would have seen sequentially.
 
 use rand::rngs::SmallRng;
 
@@ -391,12 +409,178 @@ impl EngineConfig {
     }
 }
 
+/// How the engine executes the per-process phases of a round.
+///
+/// Both backends produce **bit-identical** executions: identical delivery
+/// sets, metrics, outputs and observer event order for the same config,
+/// adversary and seed (see the module docs for why). `Parallel` pays a
+/// per-round synchronization cost, so it wins only when per-process work is
+/// substantial (large `n`, heavy protocols).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EngineBackend {
+    /// One thread executes processes in id order (the default).
+    #[default]
+    Sequential,
+    /// Scoped worker threads split processes into contiguous id chunks for
+    /// the send and compute phases; adversary and delivery stay sequential.
+    Parallel {
+        /// Number of worker threads (>= 1). `Parallel { workers: 1 }` is
+        /// the sequential schedule executed on one spawned worker.
+        workers: usize,
+    },
+}
+
+impl EngineBackend {
+    /// A parallel backend sized to the machine
+    /// (`std::thread::available_parallelism`, min 1).
+    pub fn parallel_auto() -> Self {
+        EngineBackend::Parallel {
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Worker count: 1 for `Sequential`, `workers` for `Parallel`.
+    pub fn workers(&self) -> usize {
+        match self {
+            EngineBackend::Sequential => 1,
+            EngineBackend::Parallel { workers } => *workers,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineBackend::Sequential => write!(f, "seq"),
+            EngineBackend::Parallel { workers } => write!(f, "par:{workers}"),
+        }
+    }
+}
+
+impl std::str::FromStr for EngineBackend {
+    type Err = String;
+
+    /// Parses `seq` / `sequential`, or `par` / `parallel` with an optional
+    /// `:<workers>` suffix (defaulting to the machine's parallelism).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (kind, workers) = match s.split_once(':') {
+            Some((k, w)) => (k, Some(w)),
+            None => (s, None),
+        };
+        match kind {
+            "seq" | "sequential" => match workers {
+                None => Ok(EngineBackend::Sequential),
+                Some(_) => Err(format!("sequential backend takes no worker count: {s:?}")),
+            },
+            "par" | "parallel" => {
+                let workers = match workers {
+                    None => return Ok(EngineBackend::parallel_auto()),
+                    Some(w) => w
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&w| w >= 1)
+                        .ok_or_else(|| format!("bad worker count in {s:?}"))?,
+                };
+                Ok(EngineBackend::Parallel { workers })
+            }
+            _ => Err(format!("unknown backend {s:?} (expected seq or par[:N])")),
+        }
+    }
+}
+
 struct Slot<P: Protocol> {
     proto: P,
     rng: SmallRng,
     state: ProcessState,
     generation: u64,
     pending: Vec<(ProcessId, P::Msg, Tag)>,
+}
+
+/// Per-process round buffers filled during the parallel phases and merged
+/// in process-id order at the phase barrier. Kept across rounds so the
+/// steady-state round allocates nothing.
+struct SlotBuf<P: Protocol> {
+    /// Envelopes queued in the send phase.
+    envelopes: Vec<Envelope<P::Msg>>,
+    /// `(tag, wire size)` of each send, in send order — replayed into
+    /// [`Metrics`] at the merge so sharded counting is exact.
+    sends: Vec<(Tag, u64)>,
+    /// Outputs produced in either phase.
+    outputs: Vec<OutputRecord<P::Output>>,
+}
+
+impl<P: Protocol> Default for SlotBuf<P> {
+    fn default() -> Self {
+        SlotBuf {
+            envelopes: Vec::new(),
+            sends: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+}
+
+/// Send phase for one process, writing into its arena buffers. Shared by
+/// both backends, so their per-process behavior is identical by
+/// construction.
+fn run_send_slot<P: Protocol>(
+    i: usize,
+    n: usize,
+    round: Round,
+    slot: &mut Slot<P>,
+    buf: &mut SlotBuf<P>,
+) {
+    if !slot.state.is_alive() {
+        return;
+    }
+    let id = ProcessId::new(i);
+    {
+        let mut ctx = Context::<P> {
+            id,
+            n,
+            round,
+            rng: &mut slot.rng,
+            pending: &mut slot.pending,
+            outputs: &mut buf.outputs,
+        };
+        slot.proto.send(&mut ctx);
+    }
+    for (dst, payload, tag) in slot.pending.drain(..) {
+        buf.sends.push((tag, P::msg_size(&payload)));
+        buf.envelopes.push(Envelope {
+            src: id,
+            dst,
+            round,
+            tag,
+            payload,
+        });
+    }
+}
+
+/// Compute phase for one process. Shared by both backends.
+fn run_compute_slot<P: Protocol>(
+    i: usize,
+    n: usize,
+    round: Round,
+    slot: &mut Slot<P>,
+    inbox: &[Envelope<P::Msg>],
+    input: &mut Option<P::Input>,
+    buf: &mut SlotBuf<P>,
+) {
+    if !slot.state.is_alive() {
+        return;
+    }
+    let input = input.take();
+    let mut ctx = Context::<P> {
+        id: ProcessId::new(i),
+        n,
+        round,
+        rng: &mut slot.rng,
+        pending: &mut slot.pending,
+        outputs: &mut buf.outputs,
+    };
+    slot.proto.receive(&mut ctx, inbox, input);
 }
 
 /// The lock-step execution engine.
@@ -409,6 +593,14 @@ pub struct Engine<P: Protocol + 'static> {
     liveness: LivenessLog,
     outputs: Vec<OutputRecord<P::Output>>,
     injections: Vec<InjectionRecord>,
+    /// Per-process round buffers (reused across rounds).
+    arena: Vec<SlotBuf<P>>,
+    /// This round's merged outbox (reused across rounds).
+    outbox: Vec<Envelope<P::Msg>>,
+    /// Per-process inboxes (reused across rounds).
+    inboxes: Vec<Vec<Envelope<P::Msg>>>,
+    /// This round's injected inputs (reused across rounds).
+    inputs: Vec<Option<P::Input>>,
 }
 
 impl<P: Protocol + 'static> Engine<P> {
@@ -453,6 +645,10 @@ impl<P: Protocol + 'static> Engine<P> {
             liveness: LivenessLog::new(cfg.n),
             outputs: Vec::new(),
             injections: Vec::new(),
+            arena: (0..cfg.n).map(|_| SlotBuf::default()).collect(),
+            outbox: Vec::new(),
+            inboxes: (0..cfg.n).map(|_| Vec::new()).collect(),
+            inputs: Vec::new(),
         }
     }
 
@@ -484,6 +680,11 @@ impl<P: Protocol + 'static> Engine<P> {
     /// All outputs produced so far.
     pub fn outputs(&self) -> &[OutputRecord<P::Output>] {
         &self.outputs
+    }
+
+    /// Consumes the engine, returning the full output log.
+    pub fn into_outputs(self) -> Vec<OutputRecord<P::Output>> {
+        self.outputs
     }
 
     /// All injections attempted so far.
@@ -530,42 +731,67 @@ impl<P: Protocol + 'static> Engine<P> {
         let n = self.cfg.n;
         let round = self.round;
         self.metrics.begin_round();
+        let out_start = self.outputs.len();
 
         // ---- Phase 1: send. -------------------------------------------
-        let mut outbox: Vec<Envelope<P::Msg>> = Vec::new();
-        let alive_at_start: Vec<bool> =
-            self.slots.iter().map(|s| s.state.is_alive()).collect();
-        let out_start = self.outputs.len();
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            if !slot.state.is_alive() {
-                continue;
-            }
-            let id = ProcessId::new(i);
-            {
-                let mut ctx = Context::<P> {
-                    id,
-                    n,
-                    round,
-                    rng: &mut slot.rng,
-                    pending: &mut slot.pending,
-                    outputs: &mut self.outputs,
-                };
-                slot.proto.send(&mut ctx);
-            }
-            for (dst, payload, tag) in slot.pending.drain(..) {
-                self.metrics.record_send(tag, P::msg_size(&payload));
-                outbox.push(Envelope {
-                    src: id,
-                    dst,
-                    round,
-                    tag,
-                    payload,
-                });
-            }
+        for (i, (slot, buf)) in self.slots.iter_mut().zip(self.arena.iter_mut()).enumerate() {
+            run_send_slot(i, n, round, slot, buf);
         }
+        self.merge_send_results();
+
+        // ---- Phases 2 & 3: adversary + delivery. ----------------------
+        self.prepare_round(adversary, obs);
+
+        // ---- Phase 4: compute. ----------------------------------------
+        for i in 0..n {
+            run_compute_slot(
+                i,
+                n,
+                round,
+                &mut self.slots[i],
+                &self.inboxes[i],
+                &mut self.inputs[i],
+                &mut self.arena[i],
+            );
+        }
+        self.merge_compute_outputs();
+
+        self.complete_round(round, out_start, obs);
+    }
+
+    /// Merges the send-phase arena buffers in process-id order: metric
+    /// events into [`Metrics`], envelopes into the round outbox, outputs
+    /// into the global output log. This is the phase barrier that makes the
+    /// parallel backend's observable order equal the sequential order.
+    fn merge_send_results(&mut self) {
+        for buf in &mut self.arena {
+            for (tag, size) in buf.sends.drain(..) {
+                self.metrics.record_send(tag, size);
+            }
+            self.outbox.append(&mut buf.envelopes);
+            self.outputs.append(&mut buf.outputs);
+        }
+    }
+
+    /// Merges compute-phase outputs in process-id order.
+    fn merge_compute_outputs(&mut self) {
+        for buf in &mut self.arena {
+            self.outputs.append(&mut buf.outputs);
+        }
+    }
+
+    /// The strictly sequential middle of a round: present the merged outbox
+    /// to the adversary, apply crashes and restarts, deliver surviving
+    /// messages into per-process inboxes, and stage injected inputs.
+    fn prepare_round<A: Adversary<P>, O: Observer<P>>(&mut self, adversary: &mut A, obs: &mut O) {
+        let n = self.cfg.n;
+        let round = self.round;
 
         // ---- Phase 2: adversary. --------------------------------------
-        let meta: Vec<OutboxMeta> = outbox
+        let alive_at_start: Vec<bool> =
+            self.slots.iter().map(|s| s.state.is_alive()).collect();
+        let meta: Vec<OutboxMeta> = self
+            .outbox
             .iter()
             .map(|e| OutboxMeta {
                 src: e.src,
@@ -618,8 +844,10 @@ impl<P: Protocol + 'static> Engine<P> {
         }
 
         // ---- Phase 3: delivery. ---------------------------------------
-        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
-        for env in outbox {
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        for env in self.outbox.drain(..) {
             let si = env.src.as_usize();
             let di = env.dst.as_usize();
             if let Some(policy) = &crash_policy[si] {
@@ -636,16 +864,17 @@ impl<P: Protocol + 'static> Engine<P> {
                 }
             }
             obs.on_deliver(&env);
-            inboxes[di].push(env);
+            self.inboxes[di].push(env);
         }
 
-        // ---- Phase 4: compute (with injections). ----------------------
-        let mut inputs: Vec<Option<P::Input>> = (0..n).map(|_| None).collect();
+        // ---- Injections (staged for the compute phase). ---------------
+        self.inputs.clear();
+        self.inputs.resize_with(n, || None);
         for (p, input) in decision.injections {
             let i = p.as_usize();
             let delivered = self.slots[i].state.is_alive();
             debug_assert!(
-                inputs[i].is_none(),
+                self.inputs[i].is_none(),
                 "at most one injection per process per round"
             );
             self.injections.push(InjectionRecord {
@@ -655,34 +884,150 @@ impl<P: Protocol + 'static> Engine<P> {
             });
             if delivered {
                 obs.on_inject(round, p, &input);
-                inputs[i] = Some(input);
+                self.inputs[i] = Some(input);
             }
         }
+    }
 
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            if !slot.state.is_alive() {
-                continue;
-            }
-            let id = ProcessId::new(i);
-            let input = inputs[i].take();
-            let inbox = std::mem::take(&mut inboxes[i]);
-            let mut ctx = Context::<P> {
-                id,
-                n,
-                round,
-                rng: &mut slot.rng,
-                pending: &mut slot.pending,
-                outputs: &mut self.outputs,
-            };
-            slot.proto.receive(&mut ctx, &inbox, input);
-        }
-
+    /// End-of-round bookkeeping: meter this round's deliveries, notify the
+    /// observer, advance the clock.
+    fn complete_round<O: Observer<P>>(&mut self, round: Round, out_start: usize, obs: &mut O) {
         for rec in &self.outputs[out_start..] {
             self.metrics.record_delivery();
             obs.on_output(rec);
         }
         obs.on_round_end(round);
         self.round = round.next();
+    }
+}
+
+impl<P> Engine<P>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send,
+    P::Input: Send,
+    P::Output: Send,
+{
+    /// Executes one round on the given backend (reporting events to `obs`).
+    ///
+    /// Backends may be switched freely between rounds — the engine's state
+    /// evolution is backend-independent.
+    pub fn step_backend<A: Adversary<P>, O: Observer<P>>(
+        &mut self,
+        backend: EngineBackend,
+        adversary: &mut A,
+        obs: &mut O,
+    ) {
+        match backend {
+            EngineBackend::Sequential => self.step_observed(adversary, obs),
+            EngineBackend::Parallel { workers } => {
+                self.step_observed_parallel(workers, adversary, obs)
+            }
+        }
+    }
+
+    /// Runs `rounds` rounds under `adversary` on the given backend.
+    pub fn run_backend<A: Adversary<P>>(
+        &mut self,
+        backend: EngineBackend,
+        rounds: u64,
+        adversary: &mut A,
+    ) {
+        self.run_observed_backend(backend, rounds, adversary, &mut NullObserver);
+    }
+
+    /// Runs `rounds` rounds on the given backend, reporting events to `obs`.
+    pub fn run_observed_backend<A: Adversary<P>, O: Observer<P>>(
+        &mut self,
+        backend: EngineBackend,
+        rounds: u64,
+        adversary: &mut A,
+        obs: &mut O,
+    ) {
+        for _ in 0..rounds {
+            self.step_backend(backend, adversary, obs);
+        }
+    }
+
+    /// Executes one round with the send and compute phases split across
+    /// `workers` scoped threads (contiguous process-id chunks). Bit-identical
+    /// to [`step_observed`](Engine::step_observed) — see the module docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn step_observed_parallel<A: Adversary<P>, O: Observer<P>>(
+        &mut self,
+        workers: usize,
+        adversary: &mut A,
+        obs: &mut O,
+    ) {
+        assert!(workers >= 1, "parallel backend needs at least one worker");
+        let n = self.cfg.n;
+        let round = self.round;
+        self.metrics.begin_round();
+        let out_start = self.outputs.len();
+        // Fixed chunking: process ids [c*chunk, (c+1)*chunk) go to worker c,
+        // independent of scheduling, so work assignment is deterministic.
+        let chunk = n.div_ceil(workers).max(1);
+
+        // ---- Phase 1: send (parallel). --------------------------------
+        {
+            let slots = &mut self.slots;
+            let arena = &mut self.arena;
+            std::thread::scope(|s| {
+                for (ci, (slot_chunk, buf_chunk)) in slots
+                    .chunks_mut(chunk)
+                    .zip(arena.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    let base = ci * chunk;
+                    s.spawn(move || {
+                        for (j, (slot, buf)) in
+                            slot_chunk.iter_mut().zip(buf_chunk.iter_mut()).enumerate()
+                        {
+                            run_send_slot(base + j, n, round, slot, buf);
+                        }
+                    });
+                }
+            });
+        }
+        // Barrier: workers joined; merge in process-id order.
+        self.merge_send_results();
+
+        // ---- Phases 2 & 3: adversary + delivery (sequential). ---------
+        self.prepare_round(adversary, obs);
+
+        // ---- Phase 4: compute (parallel). -----------------------------
+        {
+            let slots = &mut self.slots;
+            let arena = &mut self.arena;
+            let inboxes = &mut self.inboxes;
+            let inputs = &mut self.inputs;
+            std::thread::scope(|s| {
+                for (ci, ((slot_chunk, buf_chunk), (inbox_chunk, input_chunk))) in slots
+                    .chunks_mut(chunk)
+                    .zip(arena.chunks_mut(chunk))
+                    .zip(inboxes.chunks_mut(chunk).zip(inputs.chunks_mut(chunk)))
+                    .enumerate()
+                {
+                    let base = ci * chunk;
+                    s.spawn(move || {
+                        for (j, ((slot, buf), (inbox, input))) in slot_chunk
+                            .iter_mut()
+                            .zip(buf_chunk.iter_mut())
+                            .zip(inbox_chunk.iter_mut().zip(input_chunk.iter_mut()))
+                            .enumerate()
+                        {
+                            run_compute_slot(base + j, n, round, slot, inbox, input, buf);
+                        }
+                    });
+                }
+            });
+        }
+        self.merge_compute_outputs();
+
+        self.complete_round(round, out_start, obs);
     }
 }
 
@@ -903,6 +1248,155 @@ mod tests {
             (e.metrics().total(), e.outputs().len())
         };
         assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        use std::str::FromStr;
+        assert_eq!(
+            EngineBackend::from_str("seq").unwrap(),
+            EngineBackend::Sequential
+        );
+        assert_eq!(
+            EngineBackend::from_str("sequential").unwrap(),
+            EngineBackend::Sequential
+        );
+        assert_eq!(
+            EngineBackend::from_str("par:4").unwrap(),
+            EngineBackend::Parallel { workers: 4 }
+        );
+        assert_eq!(
+            EngineBackend::from_str("parallel:1").unwrap(),
+            EngineBackend::Parallel { workers: 1 }
+        );
+        assert!(matches!(
+            EngineBackend::from_str("par").unwrap(),
+            EngineBackend::Parallel { workers } if workers >= 1
+        ));
+        assert!(EngineBackend::from_str("par:0").is_err());
+        assert!(EngineBackend::from_str("seq:2").is_err());
+        assert!(EngineBackend::from_str("bogus").is_err());
+        assert_eq!(EngineBackend::Sequential.to_string(), "seq");
+        assert_eq!(EngineBackend::Parallel { workers: 8 }.to_string(), "par:8");
+        assert_eq!(EngineBackend::default(), EngineBackend::Sequential);
+        assert_eq!(EngineBackend::Sequential.workers(), 1);
+        assert_eq!(EngineBackend::Parallel { workers: 3 }.workers(), 3);
+    }
+
+    /// Observer that fingerprints the full ordered event stream, for
+    /// backend-equivalence assertions.
+    #[derive(Default)]
+    struct EventLog {
+        events: Vec<String>,
+    }
+    impl Observer<Ring> for EventLog {
+        fn on_deliver(&mut self, env: &Envelope<u64>) {
+            self.events
+                .push(format!("d {} {} {} {}", env.src, env.dst, env.round, env.payload));
+        }
+        fn on_inject(&mut self, round: Round, p: ProcessId, input: &u64) {
+            self.events.push(format!("i {round} {p} {input}"));
+        }
+        fn on_output(&mut self, rec: &OutputRecord<(ProcessId, u64)>) {
+            self.events
+                .push(format!("o {} {} {:?}", rec.round, rec.process, rec.value));
+        }
+        fn on_crash(&mut self, round: Round, p: ProcessId) {
+            self.events.push(format!("c {round} {p}"));
+        }
+        fn on_restart(&mut self, round: Round, p: ProcessId) {
+            self.events.push(format!("r {round} {p}"));
+        }
+        fn on_round_end(&mut self, round: Round) {
+            self.events.push(format!("e {round}"));
+        }
+    }
+
+    fn churn_script() -> ScriptedAdversary {
+        let p1 = ProcessId::new(1);
+        let p3 = ProcessId::new(3);
+        ScriptedAdversary {
+            script: vec![
+                (
+                    0,
+                    RoundDecision {
+                        crashes: vec![CrashSpec::dropping(p1)],
+                        restarts: vec![],
+                        injections: vec![(ProcessId::new(0), 7u64)],
+                    },
+                ),
+                (
+                    1,
+                    RoundDecision {
+                        crashes: vec![CrashSpec::delivering(p3)],
+                        restarts: vec![],
+                        injections: vec![(p1, 9u64)],
+                    },
+                ),
+                (
+                    2,
+                    RoundDecision {
+                        crashes: vec![],
+                        restarts: vec![
+                            (p1, IncomingPolicy::DeliverAll),
+                            (p3, IncomingPolicy::DropAll),
+                        ],
+                        injections: vec![(ProcessId::new(2), 11u64)],
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn parallel_backend_is_bit_identical_to_sequential() {
+        // Same seed, same scripted churn: the full ordered event stream must
+        // match the sequential backend exactly, for every worker count.
+        let run = |backend: EngineBackend| {
+            let mut e = Engine::<Ring>::new(EngineConfig::new(8).seed(42));
+            let mut log = EventLog::default();
+            e.run_observed_backend(backend, 6, &mut churn_script(), &mut log);
+            (
+                log.events,
+                e.metrics().total(),
+                e.metrics().deliveries(),
+                e.outputs().to_vec(),
+                e.injections().to_vec(),
+            )
+        };
+        let seq = run(EngineBackend::Sequential);
+        for workers in [1, 2, 3, 8, 16] {
+            let par = run(EngineBackend::Parallel { workers });
+            assert_eq!(seq, par, "workers={workers} diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn backend_switch_mid_run_is_seamless() {
+        // Alternating backends between rounds produces the same execution as
+        // either backend alone (state evolution is backend-independent).
+        let mut adv_a = churn_script();
+        let mut a = Engine::<Ring>::new(EngineConfig::new(6).seed(9));
+        for r in 0..6u64 {
+            let backend = if r % 2 == 0 {
+                EngineBackend::Sequential
+            } else {
+                EngineBackend::Parallel { workers: 2 }
+            };
+            a.step_backend(backend, &mut adv_a, &mut NullObserver);
+        }
+        let mut adv_b = churn_script();
+        let mut b = Engine::<Ring>::new(EngineConfig::new(6).seed(9));
+        b.run(6, &mut adv_b);
+        assert_eq!(a.outputs(), b.outputs());
+        assert_eq!(a.metrics().total(), b.metrics().total());
+    }
+
+    #[test]
+    fn parallel_handles_more_workers_than_processes() {
+        let mut e = Engine::<Ring>::new(EngineConfig::new(2).seed(1));
+        e.run_backend(EngineBackend::Parallel { workers: 16 }, 3, &mut NullAdversary);
+        assert_eq!(e.outputs().len(), 6); // 2 pings per round × 3 rounds
     }
 
     /// Protocol that outputs one random value, to check RNG reset semantics.

@@ -5,7 +5,6 @@
 //! test.
 
 use crate::process::ProcessId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A set of process ids over a universe `0..n`.
@@ -18,7 +17,7 @@ use std::fmt;
 /// evens.remove(ProcessId::new(0));
 /// assert_eq!(evens.len(), 3);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct IdSet {
     n: usize,
     words: Vec<u64>,

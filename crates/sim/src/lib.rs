@@ -72,9 +72,9 @@ pub mod trace;
 
 pub use clock::{BlockClock, Round};
 pub use engine::{
-    Adversary, Context, CrashSpec, Engine, EngineConfig, IncomingPolicy, InjectionRecord,
-    NullAdversary, NullObserver, Observer, OutboxMeta, OutputRecord, Protocol, RoundDecision,
-    RoundView, SentPolicy,
+    Adversary, Context, CrashSpec, Engine, EngineBackend, EngineConfig, IncomingPolicy,
+    InjectionRecord, NullAdversary, NullObserver, Observer, OutboxMeta, OutputRecord, Protocol,
+    RoundDecision, RoundView, SentPolicy,
 };
 pub use idset::IdSet;
 pub use liveness::{LivenessEvent, LivenessLog};

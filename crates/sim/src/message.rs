@@ -2,7 +2,6 @@
 
 use crate::clock::Round;
 use crate::process::ProcessId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Labels the *service* that sent a message.
@@ -11,7 +10,7 @@ use std::fmt;
 /// messages of `Proxy[ℓ]` and `GroupDistribution[ℓ]` *excluding* those sent
 /// by `GroupGossip` — so every send carries a tag and the engine keeps
 /// per-tag, per-round counters.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tag(pub &'static str);
 
 impl Tag {

@@ -1,6 +1,5 @@
 //! Process identifiers and liveness states.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a process, in `0..n`.
@@ -8,7 +7,7 @@ use std::fmt;
 /// The paper uses ids `1..=n`; we use the zero-based convention natural in
 /// Rust. The `ℓ`-th bit of the id defines the bit-partitions of Section 4.2
 /// (see [`bit`](ProcessId::bit)).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(u32);
 
 impl ProcessId {
@@ -57,7 +56,7 @@ impl From<ProcessId> for usize {
 /// Mirrors the paper's two-state model: a process is either `Alive` or
 /// `Crashed`; while crashed it performs no computation and neither sends nor
 /// receives messages.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ProcessState {
     /// The process executes the protocol normally.
     Alive,

@@ -1,13 +1,17 @@
-//! A bulk-synchronous *threaded* runtime for the same [`Protocol`] trait.
+//! Multi-threaded execution of [`Protocol`]s — a thin facade over the
+//! engine's parallel backend.
 //!
-//! The lock-step [`Engine`](crate::Engine) is the faithful substrate for the
-//! paper's adaptive-adversary analysis; this module demonstrates that the
-//! protocol logic is runtime-agnostic by executing the same `Protocol`
-//! implementations on real OS threads with message passing over crossbeam
-//! channels and a barrier per round (a BSP superstep). It supports
-//! failure-free executions plus *scheduled* (oblivious) crash/restart scripts
-//! — an adaptive adversary is definitionally impossible over concurrent
-//! wall-clock execution, which is exactly why the lock-step engine exists.
+//! Earlier versions of this module carried an independent bulk-synchronous
+//! runtime (one OS thread per process, `std::sync::mpsc` channels, a
+//! distributed end-of-round barrier). That duplicated the round semantics
+//! of the lock-step [`Engine`](crate::Engine) and could not host an
+//! *adaptive* adversary, which is definitionally impossible over concurrent
+//! wall-clock execution. It has been rebased onto
+//! [`EngineBackend::Parallel`](crate::EngineBackend): the same scoped-thread
+//! barrier machinery the engine uses, with bit-identical semantics to the
+//! sequential engine (see the engine module docs for the determinism
+//! contract). The public API is unchanged; scheduled (oblivious) injection
+//! scripts are expressed as a scripted [`Adversary`].
 //!
 //! ```
 //! use congos_sim::threaded::{run_threaded, ThreadedConfig};
@@ -34,17 +38,11 @@
 //! assert_eq!(report.outputs.len(), 4);
 //! ```
 
-use std::collections::VecDeque;
-use std::sync::Arc;
-
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
-
-use crate::clock::Round;
-use crate::engine::{Context, OutputRecord, Protocol};
-use crate::message::{Envelope, Tag};
+use crate::engine::{
+    Adversary, Engine, EngineBackend, EngineConfig, NullObserver, OutputRecord, Protocol,
+    RoundDecision, RoundView,
+};
 use crate::process::ProcessId;
-use crate::rng::{fork_rng, fork_seed};
 
 /// Configuration for a threaded run.
 #[derive(Clone, Debug)]
@@ -52,6 +50,7 @@ pub struct ThreadedConfig {
     n: usize,
     seed: u64,
     rounds: u64,
+    workers: Option<usize>,
 }
 
 impl ThreadedConfig {
@@ -66,6 +65,7 @@ impl ThreadedConfig {
             n,
             seed: 0,
             rounds: 1,
+            workers: None,
         }
     }
 
@@ -80,6 +80,21 @@ impl ThreadedConfig {
         self.rounds = rounds;
         self
     }
+
+    /// Sets the worker-thread count (defaults to the machine's available
+    /// parallelism). The result is identical for every worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        self.workers = Some(workers);
+        self
+    }
+
+    fn backend(&self) -> EngineBackend {
+        match self.workers {
+            Some(workers) => EngineBackend::Parallel { workers },
+            None => EngineBackend::parallel_auto(),
+        }
+    }
 }
 
 /// Result of a threaded run.
@@ -93,19 +108,11 @@ pub struct ThreadedReport<O> {
     pub rounds: u64,
 }
 
-enum Wire<M> {
-    Msg(Envelope<M>),
-    /// End-of-round marker, stamped with its round: peers may run one
-    /// superstep ahead, so markers must not be attributed to the wrong
-    /// barrier.
-    EndOfRound(u64),
-}
-
-/// Runs `P` on one OS thread per process, in bulk-synchronous supersteps,
-/// with no injections.
+/// Runs `P` across worker threads in bulk-synchronous supersteps, with no
+/// injections.
 pub fn run_threaded<P>(cfg: ThreadedConfig) -> ThreadedReport<P::Output>
 where
-    P: Protocol + Send,
+    P: Protocol + Send + 'static,
     P::Msg: Send,
     P::Input: Send,
     P::Output: Send,
@@ -113,164 +120,68 @@ where
     run_threaded_with::<P>(cfg, Vec::new())
 }
 
-/// Runs `P` on one OS thread per process, in bulk-synchronous supersteps.
+/// Runs `P` across worker threads in bulk-synchronous supersteps.
 ///
-/// Each round: every thread runs its send phase, pushes envelopes directly to
-/// the destination thread's channel, signals end-of-round to every peer, then
-/// drains its own channel until it has seen `n` end-of-round markers — a
-/// distributed barrier — and finally runs its compute phase (receiving any
-/// scheduled injection for `(round, process)`).
+/// Each round executes on the engine's parallel backend: send and compute
+/// phases are split across scoped worker threads with an ordered merge at
+/// each phase barrier, and any injection scheduled for `(round, process)` is
+/// delivered through the adversary interface. The execution (outputs,
+/// message counts) is bit-identical to a sequential engine run with the same
+/// `n`, seed and injection schedule.
 pub fn run_threaded_with<P>(
     cfg: ThreadedConfig,
     injections: Vec<(u64, ProcessId, P::Input)>,
 ) -> ThreadedReport<P::Output>
 where
-    P: Protocol + Send,
+    P: Protocol + Send + 'static,
     P::Msg: Send,
     P::Input: Send,
     P::Output: Send,
 {
-    let n = cfg.n;
-    let mut senders: Vec<Sender<Wire<P::Msg>>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Option<Receiver<Wire<P::Msg>>>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        // Capacity n*round fanout is unbounded in principle; a generous
-        // bound with blocking sends is fine for a barrier-synchronized step.
-        let (tx, rx) = bounded::<Wire<P::Msg>>(64 * n.max(16));
-        senders.push(tx);
-        receivers.push(Some(rx));
-    }
+    let backend = cfg.backend();
+    let mut schedule = injections;
+    schedule.sort_by_key(|(r, p, _)| (*r, *p));
+    let mut adversary = ScheduleReplay::<P::Input> { schedule };
 
-    let outputs = Arc::new(Mutex::new(Vec::<OutputRecord<P::Output>>::new()));
-    let messages = Arc::new(Mutex::new(0u64));
+    let mut engine = Engine::<P>::new(EngineConfig::new(cfg.n).seed(cfg.seed));
+    engine.run_observed_backend(backend, cfg.rounds, &mut adversary, &mut NullObserver);
 
-    // Partition the injection schedule by target process.
-    let mut per_process: Vec<Vec<(u64, P::Input)>> = (0..n).map(|_| Vec::new()).collect();
-    for (round, pid, input) in injections {
-        per_process[pid.as_usize()].push((round, input));
-    }
-    let mut receivers = receivers;
-
-    std::thread::scope(|scope| {
-        for (i, mut my_injections) in per_process.into_iter().enumerate() {
-            my_injections.sort_by_key(|(r, _)| *r);
-            let my_rx = receivers[i].take().expect("receiver taken once");
-            let senders = senders.clone();
-            let outputs = Arc::clone(&outputs);
-            let messages = Arc::clone(&messages);
-            let cfg = cfg.clone();
-            scope.spawn(move || {
-                let id = ProcessId::new(i);
-                let mut rng = fork_rng(cfg.seed, id, 0);
-                let mut proto = P::new(id, n, fork_seed(cfg.seed, id, 0));
-                proto.on_start(Round::ZERO);
-                let mut pending: Vec<(ProcessId, P::Msg, Tag)> = Vec::new();
-                let mut local_outputs: Vec<OutputRecord<P::Output>> = Vec::new();
-                let mut carried: VecDeque<Wire<P::Msg>> = VecDeque::new();
-                let mut sent = 0u64;
-
-                for r in 0..cfg.rounds {
-                    let round = Round(r);
-                    // Send phase.
-                    {
-                        let mut ctx = Context::<P>::for_runtime(
-                            id,
-                            n,
-                            round,
-                            &mut rng,
-                            &mut pending,
-                            &mut local_outputs,
-                        );
-                        proto.send(&mut ctx);
-                    }
-                    for (dst, payload, tag) in pending.drain(..) {
-                        sent += 1;
-                        senders[dst.as_usize()]
-                            .send(Wire::Msg(Envelope {
-                                src: id,
-                                dst,
-                                round,
-                                tag,
-                                payload,
-                            }))
-                            .expect("peer alive");
-                    }
-                    for tx in &senders {
-                        tx.send(Wire::EndOfRound(r)).expect("peer alive");
-                    }
-                    // Barrier: collect until n markers *for this round*.
-                    // Future-round traffic is parked in `carried` and only
-                    // rescanned at the next round (re-polling it within the
-                    // same round would spin).
-                    let mut inbox: Vec<Envelope<P::Msg>> = Vec::new();
-                    let mut eor = 0usize;
-                    let mut park: VecDeque<Wire<P::Msg>> = VecDeque::new();
-                    let classify = |item: Wire<P::Msg>,
-                                        inbox: &mut Vec<Envelope<P::Msg>>,
-                                        eor: &mut usize|
-                     -> Option<Wire<P::Msg>> {
-                        match item {
-                            Wire::Msg(env) if env.round == round => {
-                                inbox.push(env);
-                                None
-                            }
-                            Wire::EndOfRound(er) if er == r => {
-                                *eor += 1;
-                                None
-                            }
-                            future => Some(future),
-                        }
-                    };
-                    for item in carried.drain(..) {
-                        if let Some(f) = classify(item, &mut inbox, &mut eor) {
-                            park.push_back(f);
-                        }
-                    }
-                    while eor < n {
-                        let item = my_rx.recv().expect("channel open");
-                        if let Some(f) = classify(item, &mut inbox, &mut eor) {
-                            park.push_back(f);
-                        }
-                    }
-                    carried = park;
-                    inbox.sort_by_key(|e| e.src);
-                    // Compute phase (delivering any scheduled injection).
-                    let input = match my_injections.first() {
-                        Some((due, _)) if *due == r => Some(my_injections.remove(0).1),
-                        _ => None,
-                    };
-                    let mut ctx = Context::<P>::for_runtime(
-                        id,
-                        n,
-                        round,
-                        &mut rng,
-                        &mut pending,
-                        &mut local_outputs,
-                    );
-                    proto.receive(&mut ctx, &inbox, input);
-                }
-
-                outputs.lock().extend(local_outputs);
-                *messages.lock() += sent;
-            });
-        }
-    });
-
-    let mut outs = Arc::try_unwrap(outputs)
-        .unwrap_or_else(|_| unreachable!("threads joined"))
-        .into_inner();
-    outs.sort_by_key(|o| (o.round, o.process));
-    let messages = *messages.lock();
+    let messages = engine.metrics().total();
+    let mut outputs = engine.into_outputs();
+    outputs.sort_by_key(|o| (o.round, o.process));
     ThreadedReport {
-        outputs: outs,
+        outputs,
         messages,
         rounds: cfg.rounds,
+    }
+}
+
+/// Oblivious adversary replaying a fixed injection schedule (taken by value
+/// round by round).
+struct ScheduleReplay<I> {
+    /// Remaining schedule, sorted by `(round, process)`.
+    schedule: Vec<(u64, ProcessId, I)>,
+}
+
+impl<I, P: Protocol<Input = I>> Adversary<P> for ScheduleReplay<I> {
+    fn decide(&mut self, view: &RoundView<'_>) -> RoundDecision<I> {
+        let due = view.round.as_u64();
+        let mut decision = RoundDecision::none();
+        // Schedule is sorted by round; everything due this round is a prefix.
+        let split = self.schedule.partition_point(|(r, _, _)| *r <= due);
+        for (r, p, input) in self.schedule.drain(..split) {
+            debug_assert!(r == due, "missed injection scheduled for round {r}");
+            decision.injections.push((p, input));
+        }
+        decision
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Context;
+    use crate::message::{Envelope, Tag};
 
     /// All-to-all flood each round.
     struct Blast;
@@ -308,6 +219,14 @@ mod tests {
         assert_eq!(rep.outputs.len(), 2);
     }
 
+    #[test]
+    fn explicit_worker_count_matches_auto() {
+        let auto = run_threaded::<Blast>(ThreadedConfig::new(5).rounds(3).seed(4));
+        let two = run_threaded::<Blast>(ThreadedConfig::new(5).rounds(3).seed(4).workers(2));
+        assert_eq!(auto.outputs.len(), two.outputs.len());
+        assert_eq!(auto.messages, two.messages);
+    }
+
     /// Echoes injected inputs as outputs.
     struct Sink;
     impl Protocol for Sink {
@@ -337,5 +256,17 @@ mod tests {
         );
         let got: Vec<u32> = rep.outputs.iter().map(|o| o.value).collect();
         assert_eq!(got, vec![10, 12, 11], "ordered by (round, process)");
+    }
+
+    #[test]
+    fn threaded_run_matches_sequential_engine() {
+        // The facade promises bit-identical semantics to the lock-step
+        // engine; check outputs and message counts against a direct run.
+        let rep = run_threaded::<Blast>(ThreadedConfig::new(4).rounds(3).seed(7));
+        let mut e = Engine::<Blast>::new(EngineConfig::new(4).seed(7));
+        e.run(3, &mut crate::engine::NullAdversary);
+        assert_eq!(rep.messages, e.metrics().total());
+        assert_eq!(rep.outputs.len(), e.outputs().len());
+        assert_eq!(rep.outputs, e.outputs());
     }
 }

@@ -96,6 +96,95 @@ proptest! {
         }
     }
 
+    /// Algebraic identities: `a = (a∖b) ∪ (a∩b)`, union is commutative and
+    /// idempotent, and `is_empty` agrees with `len`.
+    #[test]
+    fn idset_algebra_identities(
+        a in prop::collection::btree_set(0usize..96, 0..50),
+        b in prop::collection::btree_set(0usize..96, 0..50),
+    ) {
+        let n = 96;
+        let sa = IdSet::from_iter(n, a.iter().map(|i| ProcessId::new(*i)));
+        let sb = IdSet::from_iter(n, b.iter().map(|i| ProcessId::new(*i)));
+
+        let mut diff = sa.clone();
+        diff.subtract(&sb);
+        let mut meet = sa.clone();
+        meet.intersect_with(&sb);
+        let mut rebuilt = diff.clone();
+        rebuilt.union_with(&meet);
+        prop_assert_eq!(&rebuilt, &sa, "a = (a\\b) ∪ (a∩b)");
+
+        let mut ab = sa.clone();
+        ab.union_with(&sb);
+        let mut ba = sb.clone();
+        ba.union_with(&sa);
+        prop_assert_eq!(&ab, &ba, "union commutes");
+        let mut aa = sa.clone();
+        aa.union_with(&sa);
+        prop_assert_eq!(&aa, &sa, "union is idempotent");
+
+        prop_assert_eq!(sa.is_empty(), sa.len() == 0);
+        prop_assert!(diff.is_disjoint_from(&sb));
+        prop_assert!(meet.is_subset_of(&sb));
+    }
+
+    /// `FromIterator` picks the tightest universe and keeps every member.
+    #[test]
+    fn idset_collect_universe(ids in prop::collection::vec(0usize..200, 0..30)) {
+        let set: IdSet = ids.iter().map(|i| ProcessId::new(*i)).collect();
+        let expect = ids.iter().map(|i| i + 1).max().unwrap_or(0);
+        prop_assert_eq!(set.universe(), expect);
+        for i in &ids {
+            prop_assert!(set.contains(ProcessId::new(*i)));
+        }
+        prop_assert_eq!(
+            set.len(),
+            ids.iter().collect::<BTreeSet<_>>().len(),
+            "duplicates collapse"
+        );
+    }
+
+    /// Blocks tile the timeline: `block_start(block_of(t)) ≤ t` strictly
+    /// inside the next block, offsets are exactly `t mod dline/4`, and the
+    /// boundary predicates agree with the offsets.
+    #[test]
+    fn block_clock_tiles_timeline(pow in 5u32..20, t in 0u64..1_000_000) {
+        let c = BlockClock::new(1u64 << pow);
+        let t = Round(t);
+        let b = c.block_of(t);
+        prop_assert!(c.block_start(b) <= t);
+        prop_assert!(t < c.block_start(b + 1));
+        prop_assert_eq!(c.offset_in_block(t), t - c.block_start(b));
+        prop_assert_eq!(c.offset_in_block(t), t.as_u64() % c.block_len());
+        prop_assert_eq!(c.is_block_start(t), c.offset_in_block(t) == 0);
+        prop_assert_eq!(c.is_block_end(t), c.offset_in_block(t) == c.block_len() - 1);
+        prop_assert_eq!(c.in_block_slack(t), c.iteration_of(t).is_none());
+    }
+
+    /// trim_deadline is idempotent and monotone, and deadline_cap is
+    /// monotone in both `n` and `c`.
+    #[test]
+    fn deadline_trimming_is_stable(
+        d1 in 0u64..1_000_000,
+        d2 in 0u64..1_000_000,
+        cap in 1u64..1_000_000,
+        n1 in 2usize..10_000,
+        n2 in 2usize..10_000,
+    ) {
+        let out = trim_deadline(d1, cap);
+        prop_assert_eq!(trim_deadline(out, cap), out, "idempotent");
+        if d1 <= d2 {
+            prop_assert!(trim_deadline(d1, cap) <= trim_deadline(d2, cap));
+        }
+        use congos_sim::clock::deadline_cap;
+        if n1 <= n2 {
+            prop_assert!(deadline_cap(n1, 1.0) <= deadline_cap(n2, 1.0));
+        }
+        prop_assert!(deadline_cap(n1, 1.0) <= deadline_cap(n1, 2.0));
+        prop_assert!(deadline_cap(n1, 1.0) >= 64, "floor");
+    }
+
     /// Liveness log vs a naive round-by-round replay.
     #[test]
     fn liveness_matches_replay(

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 CI for the confidential-gossip workspace.
+#
+#   scripts/ci.sh            # tier1: build + root tests + differential suite
+#                            #        on both engine backends
+#   scripts/ci.sh bench      # tier1 + the backend-scaling smoke bench
+#                            #        (results land in BENCH_*.json)
+#   scripts/ci.sh full       # tier1 + bench + the full workspace test suite
+#
+# The differential suite is run twice — CONGOS_BACKEND=seq and
+# CONGOS_BACKEND=par:8 — so harness-level code paths are exercised on both
+# backends end to end (the suite itself additionally compares backends
+# pairwise from inside each test).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+target="${1:-tier1}"
+
+echo "==> tier1: cargo build --release"
+cargo build --release
+
+echo "==> tier1: cargo test -q (root package)"
+cargo test -q
+
+echo "==> tier1: differential suite, sequential default backend"
+CONGOS_BACKEND=seq cargo test -q --test differential
+
+echo "==> tier1: differential suite, parallel default backend"
+CONGOS_BACKEND=par:8 cargo test -q --test differential
+
+if [ "$target" = "bench" ] || [ "$target" = "full" ]; then
+    echo "==> bench: backend_scaling smoke (e3_congos_poisson at n=1024)"
+    BENCH_JSON="BENCH_backend_scaling.json" \
+        cargo bench -p congos-bench -- backend_scaling
+    echo "    wrote crates/bench/BENCH_backend_scaling.json"
+fi
+
+if [ "$target" = "full" ]; then
+    echo "==> full: cargo test -q --workspace"
+    cargo test -q --workspace
+fi
+
+echo "==> ci: OK ($target)"

@@ -13,11 +13,7 @@ use confidential_gossip::sim::{Engine, EngineConfig, ProcessId, Round};
 
 #[test]
 fn all_five_systems_deliver_the_same_workload() {
-    let spec = RunSpec {
-        n: 16,
-        seed: 0xABCD,
-        rounds: 128,
-    };
+    let spec = RunSpec::new(16, 0xABCD, 128);
     let mk = || PoissonWorkload::new(0.05, 3, 64, 9).until(Round(64));
 
     let congos = run::<CongosNode, _, _>(spec, NoFailures, mk());

@@ -1,8 +1,13 @@
-//! Differential testing: in failure-free executions, CONGOS must produce
-//! exactly the same set of (rumor, destination) deliveries as the trivial
-//! direct-unicast protocol — on time, every time, for any workload — while
-//! never exceeding the deadline. The protocols differ in *how* (and in what
-//! a curious process can learn), never in *what* is delivered.
+//! Differential testing, along two axes:
+//!
+//! * **Protocol equivalence** — in failure-free executions, CONGOS must
+//!   produce exactly the same set of (rumor, destination) deliveries as the
+//!   trivial direct-unicast protocol. The protocols differ in *how* (and in
+//!   what a curious process can learn), never in *what* is delivered.
+//! * **Backend equivalence** — the parallel round engine must be
+//!   bit-identical to the sequential one: same delivery sets, same
+//!   per-round per-tag message counts, same audit verdicts, same trace —
+//!   for every worker count, every seed, and under adaptive adversaries.
 
 use std::collections::BTreeSet;
 
@@ -26,11 +31,7 @@ fn congos_and_direct_deliver_identical_sets() {
     for seed in [1u64, 2, 3, 4, 5] {
         let n = 16;
         let rounds = 160;
-        let spec = RunSpec {
-            n,
-            seed,
-            rounds,
-        };
+        let spec = RunSpec::new(n, seed, rounds);
         let mk = || {
             PoissonWorkload::new(0.04, 3, 64, seed * 31).until(Round(rounds - 64))
         };
@@ -57,11 +58,7 @@ fn congos_collusion_variant_is_also_delivery_equivalent() {
 
     let n = 16;
     let rounds = 160;
-    let spec = RunSpec {
-        n,
-        seed: 77,
-        rounds,
-    };
+    let spec = RunSpec::new(n, 77, rounds);
     let mk = || PoissonWorkload::new(0.03, 3, 64, 99).until(Round(rounds - 64));
     let cfg = CongosConfig::collusion_tolerant(2, 5).without_degenerate_shortcut();
     let collusion = run_with_factory::<CongosNode, _, _>(
@@ -73,4 +70,177 @@ fn congos_collusion_variant_is_also_delivery_equivalent() {
     let direct = run::<DirectNode, _, _>(spec, NoFailures, mk());
     assert!(collusion.qod.perfect(), "{:?}", collusion.qod);
     assert_eq!(delivery_set(&collusion), delivery_set(&direct));
+}
+
+mod backend_equivalence {
+    //! The parallel engine's determinism contract, checked end to end on
+    //! CONGOS: for every backend the full observable execution — ordered
+    //! deliveries, per-round per-tag message counts, audit verdicts, the
+    //! rendered trace — must be bit-identical to the sequential engine.
+
+    use confidential_gossip::adversary::{
+        CrriAdversary, FailurePlan, NoFailures, PoissonWorkload, ProxyKiller, RandomChurn,
+    };
+    use confidential_gossip::congos::{
+        AuditReport, CongosInput, CongosMsg, CongosNode, ConfidentialityAuditor, DeliveredRumor,
+    };
+    use confidential_gossip::sim::engine::{Observer, OutputRecord};
+    use confidential_gossip::sim::trace::Tracer;
+    use confidential_gossip::sim::{
+        Engine, EngineBackend, EngineConfig, Envelope, ProcessId, Round, Tag,
+    };
+
+    /// Observer fan-out: audit and trace the same run.
+    struct AuditAndTrace<'a> {
+        audit: &'a mut ConfidentialityAuditor,
+        tracer: &'a mut Tracer,
+    }
+
+    impl Observer<CongosNode> for AuditAndTrace<'_> {
+        fn on_deliver(&mut self, env: &Envelope<CongosMsg>) {
+            self.audit.on_deliver(env);
+            Observer::<CongosNode>::on_deliver(self.tracer, env);
+        }
+        fn on_inject(&mut self, round: Round, process: ProcessId, input: &CongosInput) {
+            self.audit.on_inject(round, process, input);
+            Observer::<CongosNode>::on_inject(self.tracer, round, process, input);
+        }
+        fn on_output(&mut self, rec: &OutputRecord<DeliveredRumor>) {
+            self.audit.on_output(rec);
+            Observer::<CongosNode>::on_output(self.tracer, rec);
+        }
+        fn on_crash(&mut self, round: Round, process: ProcessId) {
+            self.audit.on_crash(round, process);
+            Observer::<CongosNode>::on_crash(self.tracer, round, process);
+        }
+        fn on_restart(&mut self, round: Round, process: ProcessId) {
+            self.audit.on_restart(round, process);
+            Observer::<CongosNode>::on_restart(self.tracer, round, process);
+        }
+        fn on_round_end(&mut self, round: Round) {
+            self.audit.on_round_end(round);
+            Observer::<CongosNode>::on_round_end(self.tracer, round);
+        }
+    }
+
+    /// Everything observable about one run, for exact comparison.
+    #[derive(PartialEq, Debug)]
+    struct Fingerprint {
+        outputs: Vec<OutputRecord<DeliveredRumor>>,
+        /// `per_tag[t]` — this round's (tag, count) pairs.
+        per_tag: Vec<Vec<(&'static str, u64)>>,
+        audit: AuditReport,
+        trace: String,
+    }
+
+    const N: usize = 16;
+    const ROUNDS: u64 = 96;
+    const DEADLINE: u64 = 48;
+
+    fn congos_run<F: FailurePlan>(backend: EngineBackend, seed: u64, failures: F) -> Fingerprint {
+        let workload =
+            PoissonWorkload::new(0.05, 3, DEADLINE, seed ^ 0xD1FF).until(Round(ROUNDS - DEADLINE));
+        let mut adv = CrriAdversary::new(failures, workload);
+        let mut audit = ConfidentialityAuditor::new(N);
+        let mut tracer = Tracer::new(1 << 20);
+        let mut engine = Engine::<CongosNode>::new(EngineConfig::new(N).seed(seed));
+        {
+            let mut obs = AuditAndTrace {
+                audit: &mut audit,
+                tracer: &mut tracer,
+            };
+            engine.run_observed_backend(backend, ROUNDS, &mut adv, &mut obs);
+        }
+        let per_tag = (0..ROUNDS)
+            .map(|t| engine.metrics().round(t).iter().collect())
+            .collect();
+        assert_eq!(tracer.dropped(), 0, "trace must be complete for the digest");
+        Fingerprint {
+            per_tag,
+            audit: audit.report().clone(),
+            trace: tracer.render(),
+            outputs: engine.into_outputs(),
+        }
+    }
+
+    const SEEDS: [u64; 5] = [11, 12, 13, 14, 15];
+    const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+    #[test]
+    fn no_failures_identical_across_backends() {
+        for seed in SEEDS {
+            let seq = congos_run(EngineBackend::Sequential, seed, NoFailures);
+            assert!(!seq.outputs.is_empty(), "seed {seed}: nothing delivered");
+            for workers in WORKER_COUNTS {
+                let par = congos_run(EngineBackend::Parallel { workers }, seed, NoFailures);
+                assert_eq!(seq, par, "seed {seed} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_churn_identical_across_backends() {
+        for seed in SEEDS {
+            let churn = || RandomChurn::new(0.01, 0.2, seed * 7 + 1);
+            let seq = congos_run(EngineBackend::Sequential, seed, churn());
+            for workers in WORKER_COUNTS {
+                let par = congos_run(EngineBackend::Parallel { workers }, seed, churn());
+                assert_eq!(seq, par, "seed {seed} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_proxy_killer_identical_across_backends() {
+        // ProxyKiller reacts to the round's outbox snapshot — the sharpest
+        // test that the parallel engine presents the adversary the exact
+        // ordered view the sequential engine would.
+        for seed in SEEDS {
+            let killer = || ProxyKiller::new(Tag("proxy"), 3).revive_after(24);
+            let seq = congos_run(EngineBackend::Sequential, seed, killer());
+            for workers in WORKER_COUNTS {
+                let par = congos_run(EngineBackend::Parallel { workers }, seed, killer());
+                assert_eq!(seq, par, "seed {seed} workers {workers}");
+            }
+        }
+    }
+
+    /// FNV-1a over the rendered trace: a stable digest of the execution.
+    fn digest(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Pinned digests of the seed-42 NoFailures trace, one per backend. The
+    /// two values are equal by the determinism contract; pinning both makes
+    /// any semantic drift (in either backend) a loud failure rather than a
+    /// silently moved baseline.
+    const GOLDEN_TRACE_DIGEST_SEQ: u64 = 0x2507_331c_6f82_40be;
+    const GOLDEN_TRACE_DIGEST_PAR: u64 = 0x2507_331c_6f82_40be;
+
+    #[test]
+    fn seed_determinism_and_golden_trace_digests() {
+        let seq_a = congos_run(EngineBackend::Sequential, 42, NoFailures);
+        let seq_b = congos_run(EngineBackend::Sequential, 42, NoFailures);
+        assert_eq!(seq_a.trace, seq_b.trace, "sequential run not reproducible");
+        let par_a = congos_run(EngineBackend::Parallel { workers: 8 }, 42, NoFailures);
+        let par_b = congos_run(EngineBackend::Parallel { workers: 8 }, 42, NoFailures);
+        assert_eq!(par_a.trace, par_b.trace, "parallel run not reproducible");
+        assert_eq!(
+            digest(&seq_a.trace),
+            GOLDEN_TRACE_DIGEST_SEQ,
+            "sequential golden trace digest moved (got {:#x})",
+            digest(&seq_a.trace)
+        );
+        assert_eq!(
+            digest(&par_a.trace),
+            GOLDEN_TRACE_DIGEST_PAR,
+            "parallel golden trace digest moved (got {:#x})",
+            digest(&par_a.trace)
+        );
+    }
 }

@@ -1,0 +1,331 @@
+//! Local, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this crate implements the
+//! subset of the criterion API the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`black_box`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model (simpler than upstream, deterministic in shape):
+//! each benchmark is warmed up briefly, then timed over `sample_size`
+//! samples; each sample runs enough iterations to cover a per-sample time
+//! floor. Mean/min/max ns-per-iteration are printed to stdout and appended
+//! to a JSON report (path from `BENCH_JSON`, default `BENCH_criterion.json`
+//! in the working directory) so CI can diff results across runs.
+
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::hint;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// One benchmark's identifier inside a group: a function name plus an
+/// optional parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id with an explicit function name and parameter.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id carrying only a parameter (the group name disambiguates).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// One timing result, kept for the JSON report.
+#[derive(Clone, Debug)]
+struct Record {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+#[derive(Default)]
+struct Report {
+    records: Vec<Record>,
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: &'a mut Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        *self.elapsed = start.elapsed();
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API compatibility;
+    /// the per-sample time floor is fixed in this stand-in).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkIdOrStr>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        let rec = run_benchmark(&self.name, &id, self.sample_size, |b| f(b));
+        self.criterion.report.borrow_mut().records.push(rec);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through by reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkIdOrStr>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into().0;
+        let rec = run_benchmark(&self.name, &id, self.sample_size, |b| f(b, input));
+        self.criterion.report.borrow_mut().records.push(rec);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; results are flushed by
+    /// [`Criterion::final_summary`]).
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where criterion does.
+pub struct BenchmarkIdOrStr(String);
+
+impl From<&str> for BenchmarkIdOrStr {
+    fn from(s: &str) -> Self {
+        BenchmarkIdOrStr(s.to_string())
+    }
+}
+impl From<String> for BenchmarkIdOrStr {
+    fn from(s: String) -> Self {
+        BenchmarkIdOrStr(s)
+    }
+}
+impl From<BenchmarkId> for BenchmarkIdOrStr {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkIdOrStr(id.id)
+    }
+}
+
+fn run_benchmark(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) -> Record {
+    let full = format!("{group}/{id}");
+    if let Some(filter) = filter_from_args() {
+        if !full.contains(&filter) {
+            return Record {
+                name: full,
+                mean_ns: f64::NAN,
+                min_ns: f64::NAN,
+                max_ns: f64::NAN,
+                samples: 0,
+                iters_per_sample: 0,
+            };
+        }
+    }
+
+    // Calibrate: time one iteration, choose an iteration count so a sample
+    // lasts at least ~20ms (bounded so huge benches still run once).
+    let mut probe = Duration::ZERO;
+    f(&mut Bencher {
+        iters: 1,
+        elapsed: &mut probe,
+    });
+    let per_iter = probe.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(20);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples_ns = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut elapsed = Duration::ZERO;
+        f(&mut Bencher {
+            iters,
+            elapsed: &mut elapsed,
+        });
+        samples_ns.push(elapsed.as_nanos() as f64 / iters as f64);
+    }
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples_ns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{full:<48} mean {:>12}  min {:>12}  max {:>12}  ({} samples x {} iters)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        fmt_ns(max),
+        sample_size,
+        iters
+    );
+    Record {
+        name: full,
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+        samples: sample_size,
+        iters_per_sample: iters,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn filter_from_args() -> Option<String> {
+    // cargo bench passes `--bench` plus any user filter after `--`.
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    report: Rc<RefCell<Report>>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            report: Rc::new(RefCell::new(Report::default())),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let rec = run_benchmark("", id, 20, |b| f(b));
+        self.report.borrow_mut().records.push(rec);
+        self
+    }
+
+    /// Accepted for API compatibility (config comes from the environment).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Writes the JSON report. Called by [`criterion_main!`] after all
+    /// groups have run. Path from `BENCH_JSON`, default
+    /// `BENCH_criterion.json`.
+    pub fn final_summary(&mut self) {
+        let records = &self.report.borrow().records;
+        let ran: Vec<&Record> = records.iter().filter(|r| r.samples > 0).collect();
+        if ran.is_empty() {
+            return;
+        }
+        let path =
+            std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_criterion.json".to_string());
+        let mut json = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in ran.iter().enumerate() {
+            let comma = if i + 1 < ran.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    {{\"name\": {:?}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{comma}",
+                r.name, r.mean_ns, r.min_ns, r.max_ns, r.samples, r.iters_per_sample
+            );
+        }
+        json.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote {path} ({} benchmarks)", ran.len());
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
