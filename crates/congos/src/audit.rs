@@ -17,6 +17,14 @@
 //! reconstruction is only possible within one `(rumor, partition)` pair —
 //! which is what the auditor checks (XOR-combining fragments across
 //! partitions yields uniform noise; see [`crate::split`]).
+//!
+//! The auditor is topology-agnostic by construction: every verdict is
+//! driven by messages that were *actually delivered* (`on_deliver` /
+//! `on_output`), never by the assumption that a sent message arrives. On a
+//! sparse or churning topology the engine simply delivers fewer envelopes
+//! and the auditor sees exactly that smaller set — confidentiality
+//! verdicts need no connectivity gate, and dropped links can only ever
+//! *shrink* what a curious process or coalition learns.
 
 use std::collections::{HashMap, HashSet};
 

@@ -58,6 +58,16 @@ fn thousand_round_soak() {
     e.run_observed(rounds, &mut adv, &mut audit);
     audit.assert_clean();
 
+    // Index first deliveries once — the naive per-pair scan over outputs()
+    // is quadratic and dominated the soak's post-run classification.
+    let mut first_delivery: std::collections::HashMap<(u64, ProcessId), Round> =
+        std::collections::HashMap::new();
+    for o in e.outputs() {
+        first_delivery
+            .entry((o.value.wid, o.process))
+            .and_modify(|r| *r = (*r).min(o.round))
+            .or_insert(o.round);
+    }
     let (mut admissible, mut on_time) = (0u64, 0u64);
     for entry in adv.workload().log() {
         let t = entry.round;
@@ -70,9 +80,9 @@ fn thousand_round_soak() {
                 continue;
             }
             admissible += 1;
-            if e.outputs()
-                .iter()
-                .any(|o| o.process == *d && o.value.wid == entry.spec.id && o.round <= end)
+            if first_delivery
+                .get(&(entry.spec.id, *d))
+                .is_some_and(|r| *r <= end)
             {
                 on_time += 1;
             }

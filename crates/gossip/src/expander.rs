@@ -15,6 +15,7 @@
 //! contract the CONGOS layer needs (probability-1 QoD via the deadline
 //! fallback, bounded per-round complexity).
 
+use congos_sim::topology::Topology;
 use congos_sim::{IdSet, ProcessId, Round};
 
 /// How a gossip endpoint chooses its epidemic push targets.
@@ -91,9 +92,45 @@ pub fn expander_targets(
     out
 }
 
+/// The deterministic neighbor schedule for one member of a group, restricted
+/// to a communication [`Topology`](congos_sim::topology::Topology) — the
+/// bridge between the gossip substrate's de-randomized mode and the
+/// engine-level topology layer (`sim::topology`).
+///
+/// On [`TopologySpec::Complete`](congos_sim::TopologySpec::Complete) this is
+/// exactly [`expander_targets`] (every pair is linked, so the schedule is
+/// unrestricted). On sparser topologies it rotates round-by-round through
+/// the member's *actual* round-`now` neighbors inside the group, so the
+/// substrate never wastes a send on a link the delivery phase would drop.
+pub fn topology_targets(
+    topo: &Topology,
+    membership: &IdSet,
+    me: ProcessId,
+    now: Round,
+    fanout: usize,
+) -> Vec<ProcessId> {
+    if topo.is_complete() {
+        return expander_targets(membership, me, now, fanout);
+    }
+    let mut reachable = topo.neighbors(now, me);
+    reachable.intersect_with(membership);
+    let candidates: Vec<ProcessId> = reachable.iter().collect();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    // Rotate the (sorted) candidate list by round so repeated rounds spread
+    // contacts across the whole neighborhood, mirroring expander_targets.
+    let k = fanout.min(candidates.len());
+    let start = (now.as_u64() as usize) % candidates.len();
+    (0..k)
+        .map(|j| candidates[(start + j) % candidates.len()])
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use congos_sim::TopologySpec;
 
     fn group(ids: &[usize], n: usize) -> IdSet {
         IdSet::from_iter(n, ids.iter().map(|i| ProcessId::new(*i)))
@@ -170,6 +207,57 @@ mod tests {
         }
         let needed = rounds_needed.expect("flood must complete");
         assert!(needed <= 40, "flood took {needed} rounds");
+    }
+
+    #[test]
+    fn topology_targets_on_complete_equals_expander_schedule() {
+        let topo = Topology::build(TopologySpec::Complete, 24, 7);
+        let g = group(&[0, 3, 5, 8, 9, 12, 17, 20], 24);
+        for t in 0..16u64 {
+            for me in g.iter() {
+                assert_eq!(
+                    topology_targets(&topo, &g, me, Round(t), 3),
+                    expander_targets(&g, me, Round(t), 3)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topology_targets_stay_on_live_links() {
+        let topo = Topology::build(TopologySpec::Expander { degree: 4 }, 24, 7);
+        let g = IdSet::full(24);
+        for t in 0..32u64 {
+            for me in g.iter() {
+                let targets = topology_targets(&topo, &g, me, Round(t), 3);
+                assert!(!targets.contains(&me), "self-send at t={t}");
+                for tgt in &targets {
+                    assert!(
+                        topo.connected(Round(t), me, *tgt),
+                        "t={t}: {me}→{tgt} is not a live link"
+                    );
+                }
+                let mut d = targets.clone();
+                d.sort_unstable();
+                d.dedup();
+                assert_eq!(d.len(), targets.len(), "duplicate targets");
+            }
+        }
+    }
+
+    #[test]
+    fn topology_targets_rotate_across_rounds() {
+        // With fanout 1 on a 4-regular graph, successive rounds must not be
+        // stuck on a single neighbor.
+        let topo = Topology::build(TopologySpec::Expander { degree: 4 }, 16, 3);
+        let g = IdSet::full(16);
+        let me = ProcessId::new(5);
+        let mut contacted: Vec<ProcessId> = (0..8u64)
+            .flat_map(|t| topology_targets(&topo, &g, me, Round(t), 1))
+            .collect();
+        contacted.sort_unstable();
+        contacted.dedup();
+        assert!(contacted.len() >= 3, "schedule barely rotates: {contacted:?}");
     }
 
     #[test]

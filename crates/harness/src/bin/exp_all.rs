@@ -2,10 +2,12 @@
 //!
 //! Flags: `--full` for the larger sweeps, `--csv` for machine-readable
 //! output, `--json <path>` to also write all tables as a JSON document,
-//! `--backend <seq|par[:N]>` for the execution backend.
+//! `--backend <seq|par[:N]>` for the execution backend,
+//! `--topology <complete|expander:d|churn:p>` for the communication topology.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     congos_harness::init_backend_from_args(&args);
+    congos_harness::init_topology_from_args(&args);
     let full = args.iter().any(|a| a == "--full");
     let csv = args.iter().any(|a| a == "--csv");
     let json_path = args

@@ -1,0 +1,47 @@
+//! Regenerates experiment E14 (see EXPERIMENTS.md): QoD and per-round
+//! message complexity vs communication topology, CONGOS vs baselines.
+//!
+//! Flags: `--full` for the larger sweep (`--quick` is the accepted default),
+//! `--csv` for machine-readable output, `--backend <seq|par[:N]>` for the
+//! execution backend, `--json <path>` to override where the
+//! `BENCH_topology.json` row set is written (default
+//! `crates/bench/BENCH_topology.json`, skipped if the directory is absent).
+//!
+//! Unlike the other `exp_*` binaries there is no `--topology` flag here:
+//! the topology IS the swept axis.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    congos_harness::init_backend_from_args(&args);
+    let full = args.iter().any(|a| a == "--full");
+    let csv = args.iter().any(|a| a == "--csv");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let tables = congos_harness::experiments::e14_topology::run(full);
+    for table in &tables {
+        if csv {
+            println!("# {}", table.title());
+            print!("{}", table.to_csv());
+        } else {
+            table.print();
+        }
+    }
+
+    let doc = congos_harness::experiments::e14_topology::bench_json(&tables);
+    let path = json_path.unwrap_or_else(|| "crates/bench/BENCH_topology.json".to_string());
+    let parent_exists = std::path::Path::new(&path)
+        .parent()
+        .map(|p| p.as_os_str().is_empty() || p.is_dir())
+        .unwrap_or(true);
+    if parent_exists {
+        match std::fs::write(&path, doc.to_string_pretty() + "\n") {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    } else {
+        eprintln!("skipping {path}: parent directory missing (run from the repo root to emit it)");
+    }
+}

@@ -1,9 +1,11 @@
 //! Regenerates experiment E8 (see EXPERIMENTS.md). Pass --full for the
 //! larger sweep, --csv for machine-readable output, --backend <seq|par[:N]>
-//! for the execution backend.
+//! for the execution backend, --topology <complete|expander:d|churn:p> for the
+//! communication topology.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     congos_harness::init_backend_from_args(&args);
+    congos_harness::init_topology_from_args(&args);
     let full = args.iter().any(|a| a == "--full");
     let csv = args.iter().any(|a| a == "--csv");
     for table in congos_harness::experiments::e8_baselines::run(full) {

@@ -57,8 +57,8 @@ pub fn run(full: bool) -> Vec<Table> {
         let strong = run_system::<StronglyConfidentialNode, _, _>(spec, NoFailures, w());
         let congos = run_system::<CongosNode, _, _>(spec, NoFailures, w());
         let direct = run_system::<DirectNode, _, _>(spec, NoFailures, w());
-        assert!(strong.qod.perfect(), "strong QoD: {:?}", strong.qod);
-        assert!(congos.qod.perfect(), "congos QoD: {:?}", congos.qod);
+        assert!(strong.qod_theorem_holds(), "strong QoD: {:?}", strong.qod);
+        assert!(congos.qod_theorem_holds(), "congos QoD: {:?}", congos.qod);
 
         let copies: usize = strong
             .injections

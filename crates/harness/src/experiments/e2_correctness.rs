@@ -26,6 +26,8 @@ fn run_audited<F: FailurePlan>(
     let workload = PoissonWorkload::new(0.03, 3, deadline, seed).until(Round(rounds - deadline));
     let mut adv = CrriAdversary::new(failures, workload);
     let mut audit = ConfidentialityAuditor::new(n);
+    // Theorem replication pins the paper's complete network (the default
+    // EngineConfig topology); the sparse/churn sweep lives in E14.
     let mut engine = Engine::<CongosNode>::new(EngineConfig::new(n).seed(seed));
     engine.run_observed(rounds, &mut adv, &mut audit);
 

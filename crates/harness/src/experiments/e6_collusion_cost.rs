@@ -39,7 +39,7 @@ pub fn run(full: bool) -> Vec<Table> {
             NoFailures,
             workload,
         );
-        assert!(o.qod.perfect(), "tau={tau}: {:?}", o.qod);
+        assert!(o.qod_theorem_holds(), "tau={tau}: {:?}", o.qod);
         let lg = (n as f64).log2();
         let partitions = (2.0 * tau as f64 * lg).ceil() as usize;
         t.row(vec![

@@ -41,6 +41,8 @@ pub fn run(full: bool) -> Vec<Table> {
             PoissonWorkload::new(0.03, 3, deadline, 0xE7).until(Round(rounds - deadline));
         let churn = RandomChurn::new(p, 0.15, 0xE7);
         let mut adv = CrriAdversary::new(churn, workload);
+        // Pins the paper's complete network: E7 isolates process churn,
+        // E14 isolates link churn.
         let mut engine = Engine::<CongosNode>::new(EngineConfig::new(n).seed(0xE7));
         engine.run(rounds, &mut adv);
 

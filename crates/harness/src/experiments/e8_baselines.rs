@@ -25,7 +25,7 @@ use crate::table::Table;
 const DEADLINE: u64 = 64;
 
 fn push_row(t: &mut Table, o: &RunOutcome, rekeys: u64) {
-    assert!(o.qod.perfect(), "{}: {:?}", o.name, o.qod);
+    assert!(o.qod_theorem_holds(), "{}: {:?}", o.name, o.qod);
     let copies: usize = o.injections.iter().map(|e| e.spec.dest.len()).sum();
     t.row(vec![
         o.name.to_string(),

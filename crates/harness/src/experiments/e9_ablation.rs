@@ -111,7 +111,7 @@ pub fn run(full: bool) -> Vec<Table> {
             NoFailures,
             w,
         );
-        assert!(o.qod.perfect(), "gamma={gamma}: {:?}", o.qod);
+        assert!(o.qod_theorem_holds(), "gamma={gamma}: {:?}", o.qod);
         t.row(vec![
             format!("{gamma}"),
             o.metrics.max_per_round().to_string(),

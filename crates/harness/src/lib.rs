@@ -19,12 +19,16 @@
 //! | E10 | Section 7 — metadata-hiding costs |
 //! | E11 | Section 7 — communication complexity in bytes |
 //! | E12 | Section 7 — adaptive vs oblivious adversary power |
+//! | E14 | Beyond the complete graph — QoD/complexity vs topology |
 //!
 //! Run any experiment with `cargo run --release -p congos-harness --bin
 //! exp_e1` (etc.), or all of them with `exp_all`. Pass `--full` for the
 //! larger sweeps, and `--backend <seq|par[:N]>` (or set `CONGOS_BACKEND`)
 //! to pick the execution backend — results are bit-identical on every
-//! backend; only wall-clock time changes.
+//! backend; only wall-clock time changes. Pass `--topology
+//! <complete|expander:d|churn:p>` (or set `CONGOS_TOPOLOGY`) to run an
+//! experiment on a sparser or churning network — unlike the backend, the
+//! topology *does* change measured outcomes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,8 +42,9 @@ pub mod table;
 
 pub use json::Json;
 pub use run::{
-    default_backend, init_backend_from_args, run, run_with_factory, set_default_backend,
-    DeliveryRecord, Logged, QodSummary, RunOutcome, RunSpec,
+    default_backend, default_topology, init_backend_from_args, init_topology_from_args, run,
+    run_with_factory, set_default_backend, set_default_topology, DeliveryRecord, Logged,
+    QodSummary, RunOutcome, RunSpec,
 };
 pub use stats::{fit_power_law, percentile};
 pub use system::GossipSystem;

@@ -44,6 +44,11 @@ impl Table {
         &self.title
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

@@ -16,12 +16,13 @@ use std::process::exit;
 
 use congos::CongosInput;
 use congos_net::runtime::run_node_process;
-use congos_sim::ProcessId;
+use congos_sim::{ProcessId, TopologySpec};
 
 fn usage() -> ! {
     eprintln!(
         "usage: congos-node --id <i> --n <n> [--base-port <p>] [--rounds <r>] \
-         [--seed <s>] [--inject <round>:<d1,d2,..>:<hex>]..."
+         [--seed <s>] [--topology <complete|expander:d|churn:p>] \
+         [--inject <round>:<d1,d2,..>:<hex>]..."
     );
     exit(2)
 }
@@ -33,6 +34,7 @@ fn main() {
     let mut base_port: u16 = 19000;
     let mut rounds: u64 = 70;
     let mut seed: u64 = 0;
+    let mut topology = TopologySpec::Complete;
     let mut injections: Vec<(u64, CongosInput)> = Vec::new();
 
     let mut it = args.iter();
@@ -44,6 +46,7 @@ fn main() {
             "--base-port" => base_port = val().parse().unwrap_or_else(|_| usage()),
             "--rounds" => rounds = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            "--topology" => topology = val().parse().unwrap_or_else(|_| usage()),
             "--inject" => {
                 let spec = val();
                 let parts: Vec<&str> = spec.splitn(3, ':').collect();
@@ -71,7 +74,7 @@ fn main() {
     }
     let (Some(id), Some(n)) = (id, n) else { usage() };
 
-    match run_node_process(id, n, base_port, rounds, seed, injections) {
+    match run_node_process(id, n, base_port, rounds, seed, topology, injections) {
         Ok(deliveries) => {
             for d in deliveries {
                 println!(

@@ -11,6 +11,7 @@ use std::sync::Mutex;
 
 use congos::{tag_by_name, CongosConfig, CongosInput, CongosNode, DeliveredRumor};
 use congos_sim::rng::{fork_rng, fork_seed};
+use congos_sim::topology::{Topology, TopologySpec};
 use congos_sim::{Context, Envelope, OutputRecord, ProcessId, Protocol, Round, Tag};
 
 use crate::codec::{decode_frame, encode_frame, WireFrame};
@@ -23,6 +24,7 @@ pub struct NetConfig {
     seed: u64,
     rounds: u64,
     congos: CongosConfig,
+    topology: TopologySpec,
 }
 
 impl NetConfig {
@@ -43,6 +45,7 @@ impl NetConfig {
             seed: 0,
             rounds: 1,
             congos: CongosConfig::base(),
+            topology: TopologySpec::Complete,
         }
     }
 
@@ -63,6 +66,22 @@ impl NetConfig {
         self.congos = cfg;
         self
     }
+
+    /// Sets the communication topology. Every node derives the same seeded
+    /// edge set from `(topology, n, seed)` as the simulator, and drops
+    /// outbound frames for links absent in the current round — the
+    /// networked cluster and `sim::engine` deliver over identical graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec cannot be instantiated over `n` nodes.
+    pub fn topology(mut self, topology: TopologySpec) -> Self {
+        if let Err(e) = topology.validate(self.n) {
+            panic!("invalid topology {topology} for n={}: {e}", self.n);
+        }
+        self.topology = topology;
+        self
+    }
 }
 
 /// Result of a cluster run.
@@ -73,6 +92,9 @@ pub struct NetReport {
     /// Total protocol messages sent over sockets (excluding round markers
     /// and local self-deliveries).
     pub messages: u64,
+    /// Outbound messages dropped at the sender because the topology had no
+    /// link to the destination that round (0 on the complete topology).
+    pub topology_drops: u64,
     /// Rounds executed.
     pub rounds: u64,
 }
@@ -107,7 +129,7 @@ pub fn run_cluster(
     }
 
     let outputs = Arc::new(Mutex::new(Vec::<OutputRecord<DeliveredRumor>>::new()));
-    let messages = Arc::new(Mutex::new(0u64));
+    let counters = Arc::new(Mutex::new((0u64, 0u64))); // (sent, topology drops)
     let errors = Arc::new(Mutex::new(Vec::<io::Error>::new()));
 
     std::thread::scope(|scope| {
@@ -117,10 +139,10 @@ pub fn run_cluster(
             my_inj.sort_by_key(|(r, _)| *r);
             let cfg = cfg.clone();
             let outputs = Arc::clone(&outputs);
-            let messages = Arc::clone(&messages);
+            let counters = Arc::clone(&counters);
             let errors = Arc::clone(&errors);
             scope.spawn(move || {
-                if let Err(e) = node_main(i, listener, cfg, my_inj, &outputs, &messages) {
+                if let Err(e) = node_main(i, listener, cfg, my_inj, &outputs, &counters) {
                     errors.lock().expect("error sink").push(e);
                 }
             });
@@ -135,10 +157,11 @@ pub fn run_cluster(
         .into_inner()
         .expect("outputs lock");
     outs.sort_by_key(|o| (o.round, o.process));
-    let messages = *messages.lock().expect("messages lock");
+    let (messages, topology_drops) = *counters.lock().expect("counters lock");
     Ok(NetReport {
         deliveries: outs,
         messages,
+        topology_drops,
         rounds: cfg.rounds,
     })
 }
@@ -156,13 +179,17 @@ pub fn run_node_process(
     base_port: u16,
     rounds: u64,
     seed: u64,
+    topology: TopologySpec,
     injections: Vec<(u64, CongosInput)>,
 ) -> io::Result<Vec<OutputRecord<DeliveredRumor>>> {
-    let cfg = NetConfig::new(n, base_port).rounds(rounds).seed(seed);
+    let cfg = NetConfig::new(n, base_port)
+        .rounds(rounds)
+        .seed(seed)
+        .topology(topology);
     let listener = TcpListener::bind(("127.0.0.1", base_port + id as u16))?;
     let outputs = Mutex::new(Vec::new());
-    let messages = Mutex::new(0u64);
-    node_main(id, listener, cfg, injections, &outputs, &messages)?;
+    let counters = Mutex::new((0u64, 0u64));
+    node_main(id, listener, cfg, injections, &outputs, &counters)?;
     let mut outs = outputs.into_inner().expect("outputs lock");
     outs.sort_by_key(|o| (o.round, o.process));
     Ok(outs)
@@ -174,7 +201,7 @@ fn node_main(
     cfg: NetConfig,
     mut my_inj: Vec<(u64, CongosInput)>,
     outputs: &Mutex<Vec<OutputRecord<DeliveredRumor>>>,
-    messages: &Mutex<u64>,
+    counters: &Mutex<(u64, u64)>,
 ) -> io::Result<()> {
     let n = cfg.n;
     let me = ProcessId::new(i);
@@ -228,7 +255,7 @@ fn node_main(
             writers,
             frame_rx,
             outputs,
-            messages,
+            counters,
         )
         .map(|_| {
             drop(frame_tx);
@@ -248,7 +275,7 @@ fn node_main(
         Vec::new(),
         frame_rx,
         outputs,
-        messages,
+        counters,
     )
 }
 
@@ -261,8 +288,9 @@ fn node_rounds(
     mut writers: Writers,
     frame_rx: Receiver<WireFrame>,
     outputs: &Mutex<Vec<OutputRecord<DeliveredRumor>>>,
-    messages: &Mutex<u64>,
+    counters: &Mutex<(u64, u64)>,
 ) -> io::Result<()> {
+    let topo = Topology::build(cfg.topology, n, cfg.seed);
     let mut node = CongosNode::with_config(me, n, cfg.congos.clone());
     node.on_start(Round::ZERO);
     let mut rng = fork_rng(cfg.seed, me, 0);
@@ -271,6 +299,7 @@ fn node_rounds(
     let mut local_outputs: Vec<OutputRecord<DeliveredRumor>> = Vec::new();
     let mut carried: VecDeque<WireFrame> = VecDeque::new();
     let mut sent = 0u64;
+    let mut dropped = 0u64;
 
     for r in 0..cfg.rounds {
         let round = Round(r);
@@ -296,6 +325,13 @@ fn node_rounds(
                     tag,
                     payload,
                 });
+                continue;
+            }
+            if !topo.connected(round, me, dst) {
+                // The simulator's delivery phase would drop this envelope;
+                // dropping at the sender keeps delivery sets identical and
+                // saves the wire hop.
+                dropped += 1;
                 continue;
             }
             sent += 1;
@@ -380,7 +416,9 @@ fn node_rounds(
     }
 
     outputs.lock().expect("outputs lock").extend(local_outputs);
-    *messages.lock().expect("messages lock") += sent;
+    let mut c = counters.lock().expect("counters lock");
+    c.0 += sent;
+    c.1 += dropped;
     Ok(())
 }
 

@@ -45,6 +45,7 @@ use crate::message::{Envelope, Tag};
 use crate::metrics::Metrics;
 use crate::process::{ProcessId, ProcessState};
 use crate::rng::fork_rng;
+use crate::topology::{Topology, TopologySpec};
 
 /// A synchronous message-passing protocol run by every process.
 ///
@@ -378,23 +379,42 @@ pub struct InjectionRecord {
 pub struct EngineConfig {
     n: usize,
     seed: u64,
+    topology: TopologySpec,
 }
 
 impl EngineConfig {
-    /// Configuration for `n` processes with seed 0.
+    /// Configuration for `n` processes with seed 0 on the complete topology.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one process");
-        EngineConfig { n, seed: 0 }
+        EngineConfig {
+            n,
+            seed: 0,
+            topology: TopologySpec::Complete,
+        }
     }
 
     /// Sets the master seed (every run with the same config and adversary is
     /// bit-identical).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the communication topology (default: [`TopologySpec::Complete`],
+    /// the paper's reliable complete network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec cannot be instantiated over `n` processes.
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        if let Err(e) = spec.validate(self.n) {
+            panic!("invalid topology {spec} for n={}: {e}", self.n);
+        }
+        self.topology = spec;
         self
     }
 
@@ -406,6 +426,11 @@ impl EngineConfig {
     /// Master seed.
     pub fn master_seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The configured topology spec.
+    pub fn topology_spec(&self) -> TopologySpec {
+        self.topology
     }
 }
 
@@ -587,6 +612,7 @@ fn run_compute_slot<P: Protocol>(
 pub struct Engine<P: Protocol + 'static> {
     cfg: EngineConfig,
     round: Round,
+    topology: Topology,
     slots: Vec<Slot<P>>,
     factory: Box<dyn Fn(ProcessId, usize, u64) -> P>,
     metrics: Metrics,
@@ -637,6 +663,7 @@ impl<P: Protocol + 'static> Engine<P> {
             })
             .collect();
         Engine {
+            topology: Topology::build(cfg.topology, cfg.n, cfg.seed),
             cfg,
             round: Round::ZERO,
             slots,
@@ -670,6 +697,11 @@ impl<P: Protocol + 'static> Engine<P> {
     /// Accumulated message metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The communication topology this engine delivers over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Crash/restart history.
@@ -847,6 +879,7 @@ impl<P: Protocol + 'static> Engine<P> {
         for inbox in &mut self.inboxes {
             inbox.clear();
         }
+        let filter_topology = !self.topology.is_complete();
         for env in self.outbox.drain(..) {
             let si = env.src.as_usize();
             let di = env.dst.as_usize();
@@ -854,6 +887,10 @@ impl<P: Protocol + 'static> Engine<P> {
                 if !policy.allows(env.dst) {
                     continue;
                 }
+            }
+            if filter_topology && !self.topology.connected(round, env.src, env.dst) {
+                self.metrics.record_topology_drop();
+                continue; // no link between src and dst this round
             }
             if !self.slots[di].state.is_alive() {
                 continue; // crashed receivers receive nothing

@@ -4,7 +4,9 @@
 //! (Georgiou, Gilbert, Kowalski; ICDCS 2011):
 //!
 //! * `n` synchronous processes with unique ids `0..n`, communicating over a
-//!   reliable, fully connected, point-to-point network;
+//!   reliable, fully connected, point-to-point network (the default; the
+//!   [`topology`] module can replace it with a sparse or churning link
+//!   layer, dropping envelopes whose edge is absent that round);
 //! * a global clock (globally numbered rounds);
 //! * in each round a process (i) sends point-to-point messages, (ii) receives
 //!   the messages sent to it *in the same round*, and (iii) performs local
@@ -68,6 +70,7 @@ pub mod metrics;
 pub mod process;
 pub mod rng;
 pub mod threaded;
+pub mod topology;
 pub mod trace;
 
 pub use clock::{BlockClock, Round};
@@ -81,4 +84,5 @@ pub use liveness::{LivenessEvent, LivenessLog};
 pub use message::{Envelope, Tag};
 pub use metrics::{Metrics, RoundCounts};
 pub use process::{ProcessId, ProcessState};
+pub use topology::{Topology, TopologySpec};
 pub use trace::{TraceEvent, Tracer};

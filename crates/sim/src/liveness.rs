@@ -5,6 +5,14 @@
 //! both `p` and `q` are **continuously alive** during `[t, t + ρ.d]`. The
 //! engine records every crash/restart so the harness can classify rumors
 //! exactly.
+//!
+//! Continuous aliveness is only the *liveness* half of admissibility: the
+//! paper proves QoD on a complete network, where an alive pair can always
+//! communicate. On sparse or churning topologies the harness additionally
+//! requires a temporal path between the pair
+//! ([`Topology::reachable_within`](crate::topology::Topology::reachable_within));
+//! this log deliberately knows nothing about connectivity, so it cannot be
+//! misread as an "everyone hears everything" oracle.
 
 use crate::clock::Round;
 use crate::process::ProcessId;

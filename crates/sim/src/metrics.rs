@@ -59,6 +59,7 @@ impl RoundCounts {
 pub struct Metrics {
     rounds: Vec<RoundCounts>,
     deliveries: u64,
+    topology_drops: u64,
 }
 
 impl Metrics {
@@ -142,6 +143,14 @@ impl Metrics {
         self.deliveries
     }
 
+    /// Messages dropped by the delivery phase because the topology had no
+    /// src→dst link that round. Always 0 on the complete topology — sends
+    /// are still metered normally (the process paid for the send; the
+    /// network ate it).
+    pub fn topology_drops(&self) -> u64 {
+        self.topology_drops
+    }
+
     /// All tag names seen during the execution.
     pub fn tags(&self) -> Vec<&'static str> {
         let mut names: Vec<&'static str> = self
@@ -167,6 +176,10 @@ impl Metrics {
 
     pub(crate) fn record_delivery(&mut self) {
         self.deliveries += 1;
+    }
+
+    pub(crate) fn record_topology_drop(&mut self) {
+        self.topology_drops += 1;
     }
 }
 

@@ -32,11 +32,18 @@ pub fn fork_seed(master: u64, pid: ProcessId, generation: u64) -> u64 {
 
 /// Derives a named auxiliary RNG (e.g. for workload generation).
 pub fn named_rng(master: u64, name: &str) -> SmallRng {
+    SmallRng::seed_from_u64(named_seed(master, name))
+}
+
+/// The raw seed underlying [`named_rng`] — for components (e.g. topologies)
+/// that hash it further rather than drawing from a stream. Disjoint from
+/// every [`fork_rng`]/[`fork_seed`] stream by the name-dependent tweak.
+pub fn named_seed(master: u64, name: &str) -> u64 {
     let mut h = master ^ 0x51_7c_c1_b7_27_22_0a_95;
     for b in name.bytes() {
         h = mix(h, b as u64);
     }
-    SmallRng::seed_from_u64(h)
+    h
 }
 
 fn mix(state: u64, input: u64) -> u64 {

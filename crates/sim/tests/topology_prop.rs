@@ -1,0 +1,131 @@
+//! Property-based tests of the topology layer: the expander construction
+//! must always yield a simple, `d`-regular, connected graph for valid
+//! `(n, d)`; churn must never produce self-loops or asymmetric links; and
+//! everything must be a pure function of `(spec, n, seed)`.
+
+use congos_sim::{ProcessId, Round, Topology, TopologySpec};
+use proptest::prelude::*;
+
+/// `(n, d)` pairs accepted by `TopologySpec::validate` — degree clamped
+/// below `n` and parity-fixed so `n·d` is even.
+fn valid_n_d() -> impl Strategy<Value = (usize, usize)> {
+    (3usize..33, 2usize..12).prop_map(|(n, d_raw)| {
+        let mut d = d_raw.min(n - 1);
+        if n * d % 2 != 0 {
+            d -= 1; // n odd here, so even d keeps n·d even; d >= 2 stays
+        }
+        (n, d.max(2).min(n - 1))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every valid `(n, d, seed)` builds a simple d-regular connected graph.
+    #[test]
+    fn expander_is_simple_d_regular_connected(
+        nd in valid_n_d(),
+        seed in any::<u64>(),
+    ) {
+        let (n, d) = nd;
+        let spec = TopologySpec::Expander { degree: d };
+        prop_assume!(spec.validate(n).is_ok());
+        let t = Topology::build(spec, n, seed);
+        for i in 0..n {
+            let nb = t.neighbors(Round(0), ProcessId::new(i));
+            prop_assert_eq!(nb.len(), d, "vertex {} degree", i);
+            prop_assert!(!nb.contains(ProcessId::new(i)), "self-loop at {}", i);
+            for q in nb.iter() {
+                prop_assert!(
+                    t.connected(Round(0), q, ProcessId::new(i)),
+                    "edge {}–{} not symmetric", i, q.as_usize()
+                );
+            }
+        }
+        // Connected: flooding from vertex 0 reaches everyone within n rounds.
+        for dst in 1..n {
+            prop_assert!(
+                t.reachable_within(ProcessId::new(0), ProcessId::new(dst), Round(0), Round(n as u64)),
+                "vertex {} unreachable from 0", dst
+            );
+        }
+        // Static: the graph does not change over rounds.
+        prop_assert_eq!(t.edges(Round(0)), t.edges(Round(31)));
+    }
+
+    /// Expander construction is a pure function of `(n, d, seed)`.
+    #[test]
+    fn expander_same_seed_same_edges(
+        nd in valid_n_d(),
+        seed in any::<u64>(),
+    ) {
+        let (n, d) = nd;
+        let spec = TopologySpec::Expander { degree: d };
+        prop_assume!(spec.validate(n).is_ok());
+        let a = Topology::build(spec, n, seed);
+        let b = Topology::build(spec, n, seed);
+        prop_assert_eq!(a.edges(Round(0)), b.edges(Round(0)));
+    }
+
+    /// Churn never invents self-loops or asymmetric links, and its edge set
+    /// (i < j pairs) never contains duplicates.
+    #[test]
+    fn churn_edges_stay_simple_and_symmetric(
+        n in 2usize..24,
+        ppm in 0u32..=1_000_000,
+        seed in any::<u64>(),
+        round in 0u64..64,
+    ) {
+        let t = Topology::build(
+            TopologySpec::Churn { base_degree: None, flip_ppm: ppm },
+            n,
+            seed,
+        );
+        let edges = t.edges(Round(round));
+        let mut sorted = edges.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), edges.len(), "duplicate edges");
+        for &(i, j) in &edges {
+            prop_assert!(i < j, "edge not normalized");
+            prop_assert!(
+                t.connected(Round(round), ProcessId::new(j), ProcessId::new(i)),
+                "edge {}–{} not symmetric", i, j
+            );
+        }
+        for i in 0..n {
+            let p = ProcessId::new(i);
+            prop_assert!(t.connected(Round(round), p, p), "self-pair must stay local");
+            prop_assert!(
+                !t.neighbors(Round(round), p).contains(p),
+                "self-loop in neighbors of {}", i
+            );
+        }
+    }
+
+    /// Churn is a pure function of `(spec, n, seed, round)` — rebuilt
+    /// topologies agree round by round, including over an expander base.
+    #[test]
+    fn churn_same_seed_same_edge_sequence(
+        nd in valid_n_d(),
+        ppm in 0u32..500_000,
+        seed in any::<u64>(),
+    ) {
+        let (n, d) = nd;
+        let spec = TopologySpec::Churn { base_degree: Some(d), flip_ppm: ppm };
+        prop_assume!(spec.validate(n).is_ok());
+        let a = Topology::build(spec, n, seed);
+        let b = Topology::build(spec, n, seed);
+        for r in [0u64, 1, 7, 63] {
+            prop_assert_eq!(a.edges(Round(r)), b.edges(Round(r)), "round {}", r);
+        }
+        // ppm = 0 freezes the base graph exactly.
+        let frozen = Topology::build(
+            TopologySpec::Churn { base_degree: Some(d), flip_ppm: 0 },
+            n,
+            seed,
+        );
+        let base = Topology::build(TopologySpec::Expander { degree: d }, n, seed);
+        prop_assert_eq!(frozen.edges(Round(9)), base.edges(Round(0)));
+    }
+}

@@ -2,7 +2,11 @@
 # Tier-1 CI for the confidential-gossip workspace.
 #
 #   scripts/ci.sh            # tier1: build + root tests + differential suite
-#                            #        on both engine backends
+#                            #        on both engine backends + topo target
+#   scripts/ci.sh topo       # topology target only: topology-differential
+#                            #        suite, topology proptests, and the
+#                            #        exp_e14_topology quick smoke (writes
+#                            #        crates/bench/BENCH_topology.json)
 #   scripts/ci.sh bench      # tier1 + the backend-scaling smoke bench
 #                            #        (results land in BENCH_*.json)
 #   scripts/ci.sh full       # tier1 + bench + the full workspace test suite
@@ -16,6 +20,22 @@ cd "$(dirname "$0")/.."
 
 target="${1:-tier1}"
 
+run_topo() {
+    echo "==> topo: topology-differential suite"
+    cargo test -q --test differential topology_differential
+    echo "==> topo: topology invariant proptests"
+    cargo test -q -p congos-sim --test topology_prop
+    echo "==> topo: exp_e14_topology smoke (quick sweep)"
+    cargo run --release -q -p congos-harness --bin exp_e14_topology >/dev/null
+    echo "    wrote crates/bench/BENCH_topology.json"
+}
+
+if [ "$target" = "topo" ]; then
+    run_topo
+    echo "==> ci: OK (topo)"
+    exit 0
+fi
+
 echo "==> tier1: cargo build --release"
 cargo build --release
 
@@ -27,6 +47,8 @@ CONGOS_BACKEND=seq cargo test -q --test differential
 
 echo "==> tier1: differential suite, parallel default backend"
 CONGOS_BACKEND=par:8 cargo test -q --test differential
+
+run_topo
 
 if [ "$target" = "bench" ] || [ "$target" = "full" ]; then
     echo "==> bench: backend_scaling smoke (e3_congos_poisson at n=1024)"

@@ -46,6 +46,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod testkit;
+
 pub use congos;
 pub use congos_adversary as adversary;
 pub use congos_baselines as baselines;

@@ -1,0 +1,137 @@
+//! Shared fixtures for the repository-level differential test suites.
+//!
+//! The integration tests under `tests/` (and any future suite) compare
+//! *complete executions*: ordered outputs, per-round per-tag message
+//! counts, audit verdicts and the rendered trace. This module centralizes
+//! that machinery — the [`Fingerprint`] type, the topology-parameterized
+//! [`congos_fingerprint`] runner, the [`fnv1a`] trace digest and the pinned
+//! [`GOLDEN_TRACE_DIGEST`] — so every suite asserts against the same
+//! fixture instead of each carrying a private copy that can drift.
+
+use congos::{
+    AuditReport, CongosInput, CongosMsg, CongosNode, ConfidentialityAuditor, DeliveredRumor,
+};
+use congos_adversary::{CrriAdversary, FailurePlan, PoissonWorkload};
+use congos_sim::engine::{Observer, OutputRecord};
+use congos_sim::trace::Tracer;
+use congos_sim::{
+    Engine, EngineBackend, EngineConfig, Envelope, ProcessId, Round, TopologySpec,
+};
+
+/// Universe size used by every fingerprint run (matches the seed suite).
+pub const N: usize = 16;
+/// Rounds per fingerprint run.
+pub const ROUNDS: u64 = 96;
+/// Rumor deadline used by the fingerprint workload.
+pub const DEADLINE: u64 = 48;
+
+/// FNV-1a over a rendered trace: a stable 64-bit digest of the execution.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Pinned [`fnv1a`] digest of the seed-42, `NoFailures`, complete-topology
+/// trace at [`N`]/[`ROUNDS`]/[`DEADLINE`]. Every backend and the
+/// `Complete` topology must reproduce it bit-for-bit: a moved value means
+/// semantic drift in the engine, the protocol, or the topology layer's
+/// supposedly invisible default path.
+pub const GOLDEN_TRACE_DIGEST: u64 = 0x2507_331c_6f82_40be;
+
+/// Everything observable about one run, for exact comparison.
+#[derive(PartialEq, Debug)]
+pub struct Fingerprint {
+    /// Ordered output records, exactly as the engine emitted them.
+    pub outputs: Vec<OutputRecord<DeliveredRumor>>,
+    /// `per_tag[t]` — round `t`'s (tag, count) pairs.
+    pub per_tag: Vec<Vec<(&'static str, u64)>>,
+    /// The confidentiality auditor's verdict.
+    pub audit: AuditReport,
+    /// The rendered execution trace.
+    pub trace: String,
+}
+
+impl Fingerprint {
+    /// The ordered `(rumor id, destination)` delivery set.
+    pub fn delivery_set(&self) -> Vec<(u64, usize)> {
+        self.outputs
+            .iter()
+            .map(|o| (o.value.wid, o.process.as_usize()))
+            .collect()
+    }
+}
+
+/// Observer fan-out: audit and trace the same run.
+struct AuditAndTrace<'a> {
+    audit: &'a mut ConfidentialityAuditor,
+    tracer: &'a mut Tracer,
+}
+
+impl Observer<CongosNode> for AuditAndTrace<'_> {
+    fn on_deliver(&mut self, env: &Envelope<CongosMsg>) {
+        self.audit.on_deliver(env);
+        Observer::<CongosNode>::on_deliver(self.tracer, env);
+    }
+    fn on_inject(&mut self, round: Round, process: ProcessId, input: &CongosInput) {
+        self.audit.on_inject(round, process, input);
+        Observer::<CongosNode>::on_inject(self.tracer, round, process, input);
+    }
+    fn on_output(&mut self, rec: &OutputRecord<DeliveredRumor>) {
+        self.audit.on_output(rec);
+        Observer::<CongosNode>::on_output(self.tracer, rec);
+    }
+    fn on_crash(&mut self, round: Round, process: ProcessId) {
+        self.audit.on_crash(round, process);
+        Observer::<CongosNode>::on_crash(self.tracer, round, process);
+    }
+    fn on_restart(&mut self, round: Round, process: ProcessId) {
+        self.audit.on_restart(round, process);
+        Observer::<CongosNode>::on_restart(self.tracer, round, process);
+    }
+    fn on_round_end(&mut self, round: Round) {
+        self.audit.on_round_end(round);
+        Observer::<CongosNode>::on_round_end(self.tracer, round);
+    }
+}
+
+/// Runs CONGOS on the given backend, topology, seed and failure plan and
+/// returns the full [`Fingerprint`] (audited and traced throughout).
+///
+/// The workload is the suite's fixed Poisson stream keyed by `seed`, so two
+/// calls differing only in `backend` see byte-identical inputs — any
+/// fingerprint difference is the engine's fault, not the workload's.
+pub fn congos_fingerprint<F: FailurePlan>(
+    backend: EngineBackend,
+    topology: TopologySpec,
+    seed: u64,
+    failures: F,
+) -> Fingerprint {
+    let workload =
+        PoissonWorkload::new(0.05, 3, DEADLINE, seed ^ 0xD1FF).until(Round(ROUNDS - DEADLINE));
+    let mut adv = CrriAdversary::new(failures, workload);
+    let mut audit = ConfidentialityAuditor::new(N);
+    let mut tracer = Tracer::new(1 << 20);
+    let mut engine =
+        Engine::<CongosNode>::new(EngineConfig::new(N).seed(seed).topology(topology));
+    {
+        let mut obs = AuditAndTrace {
+            audit: &mut audit,
+            tracer: &mut tracer,
+        };
+        engine.run_observed_backend(backend, ROUNDS, &mut adv, &mut obs);
+    }
+    let per_tag = (0..ROUNDS)
+        .map(|t| engine.metrics().round(t).iter().collect())
+        .collect();
+    assert_eq!(tracer.dropped(), 0, "trace must be complete for the digest");
+    Fingerprint {
+        per_tag,
+        audit: audit.report().clone(),
+        trace: tracer.render(),
+        outputs: engine.into_outputs(),
+    }
+}
