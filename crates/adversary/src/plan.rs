@@ -91,7 +91,7 @@ mod tests {
     use super::*;
     use crate::failures::NoFailures;
     use crate::workload::{NoInjections, OneShot, RumorSpec};
-    use congos_sim::{Context, Engine, EngineConfig, Envelope, Round};
+    use congos_sim::{Context, Engine, EngineConfig, Inbox, Round};
 
     /// Minimal protocol that records injected specs as outputs.
     struct Sink;
@@ -106,7 +106,7 @@ mod tests {
         fn receive(
             &mut self,
             ctx: &mut Context<'_, Self>,
-            _inbox: &[Envelope<()>],
+            _inbox: Inbox<'_, ()>,
             input: Option<RumorSpec>,
         ) {
             if let Some(spec) = input {

@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 
 use congos_gossip::standalone::{Delivered, GossipInput};
-use congos_sim::{Context, Envelope, ProcessId, Protocol, Tag};
+use congos_sim::{Context, Inbox, ProcessId, Protocol, Tag};
 
 /// Tag for key-establishment traffic.
 pub const TAG_REKEY: Tag = Tag("rekey");
@@ -109,7 +109,7 @@ impl Protocol for CryptoMulticastNode {
     fn receive(
         &mut self,
         ctx: &mut Context<'_, Self>,
-        inbox: &[Envelope<Self::Msg>],
+        inbox: Inbox<'_, Self::Msg>,
         input: Option<Self::Input>,
     ) {
         let me = ctx.id();

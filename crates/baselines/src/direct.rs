@@ -1,7 +1,7 @@
 //! Direct unicast: the trivial confidential baseline.
 
 use congos_gossip::standalone::{Delivered, GossipInput};
-use congos_sim::{Context, Envelope, ProcessId, Protocol, Tag};
+use congos_sim::{Context, Inbox, ProcessId, Protocol, Tag};
 
 /// Tag for direct-unicast traffic.
 pub const TAG_DIRECT: Tag = Tag("direct");
@@ -40,7 +40,7 @@ impl Protocol for DirectNode {
     fn receive(
         &mut self,
         ctx: &mut Context<'_, Self>,
-        inbox: &[Envelope<Self::Msg>],
+        inbox: Inbox<'_, Self::Msg>,
         input: Option<Self::Input>,
     ) {
         for env in inbox {

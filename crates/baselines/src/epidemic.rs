@@ -15,7 +15,7 @@ mod tests {
     use congos_adversary::{CrriAdversary, NoFailures, OneShot, RumorSpec};
     use congos_gossip::GossipWire;
     use congos_sim::{
-        Engine, EngineConfig, Envelope, Observer, ProcessId, Round,
+        Engine, EngineConfig, EnvelopeRef, Observer, ProcessId, Round,
     };
 
     #[test]
@@ -38,7 +38,7 @@ mod tests {
         impl Observer<PlainEpidemicNode> for LeakMeter {
             fn on_deliver(
                 &mut self,
-                env: &Envelope<GossipWire<congos_gossip::standalone::StandalonePayload>>,
+                env: EnvelopeRef<'_, GossipWire<congos_gossip::standalone::StandalonePayload>>,
             ) {
                 if let GossipWire::Push(rumors) = &env.payload {
                     for r in rumors.iter() {

@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, HashMap};
 use rand::seq::SliceRandom;
 
 use congos_gossip::standalone::{Delivered, GossipInput};
-use congos_sim::{Context, Envelope, IdSet, ProcessId, Protocol, Round, Tag};
+use congos_sim::{Context, IdSet, Inbox, ProcessId, Protocol, Round, Tag};
 
 /// Tag for strongly-confidential gossip traffic.
 pub const TAG_STRONG: Tag = Tag("strong");
@@ -144,7 +144,7 @@ impl Protocol for StronglyConfidentialNode {
     fn receive(
         &mut self,
         ctx: &mut Context<'_, Self>,
-        inbox: &[Envelope<Self::Msg>],
+        inbox: Inbox<'_, Self::Msg>,
         input: Option<Self::Input>,
     ) {
         let now = ctx.round();
@@ -225,7 +225,7 @@ impl Protocol for StronglyConfidentialNode {
 mod tests {
     use super::*;
     use congos_adversary::{CrriAdversary, NoFailures, OneShot, RumorSpec, Theorem1Workload};
-    use congos_sim::{Engine, EngineConfig, NullObserver, Observer};
+    use congos_sim::{Engine, EngineConfig, EnvelopeRef, NullObserver, Observer};
 
     #[test]
     fn delivers_within_destination_set_only() {
@@ -243,7 +243,7 @@ mod tests {
             dest: Vec<ProcessId>,
         }
         impl Observer<StronglyConfidentialNode> for Wiretap {
-            fn on_deliver(&mut self, env: &Envelope<StrongMsg>) {
+            fn on_deliver(&mut self, env: EnvelopeRef<'_, StrongMsg>) {
                 if let StrongMsg::Push(rumors) = &env.payload {
                     for r in rumors {
                         assert!(
@@ -278,7 +278,7 @@ mod tests {
             copies: u64,
         }
         impl Observer<StronglyConfidentialNode> for BatchMeter {
-            fn on_deliver(&mut self, env: &Envelope<StrongMsg>) {
+            fn on_deliver(&mut self, env: EnvelopeRef<'_, StrongMsg>) {
                 if let StrongMsg::Push(rumors) = &env.payload {
                     self.envelopes += 1;
                     self.copies += rumors.len() as u64;

@@ -28,11 +28,12 @@
 
 use std::collections::{HashMap, HashSet};
 
-use congos_sim::{Envelope, IdSet, Observer, OutputRecord, ProcessId, Round};
+use congos_sim::{EnvelopeRef, IdSet, Observer, OutputRecord, ProcessId, Round};
 
 use crate::messages::{CongosMsg, Fragment, GossipPayload};
 use crate::node::CongosNode;
 use crate::rumor::{CongosInput, CongosRumorId, DeliveredRumor};
+use crate::services::hit_history::ExpiryRing;
 
 /// A violation the auditor detected.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -120,6 +121,11 @@ pub struct ConfidentialityAuditor {
     coalitions: Vec<IdSet>,
     /// Fragment count `k` per (rumor, partition) split.
     split_k: HashMap<(CongosRumorId, u16), u8>,
+    /// Expiry index bounding `holdings` / `split_k`: every retained entry is
+    /// filed at its split's admissibility horizon `birth + 2·dline`.
+    expiry: ExpiryRing<(ProcessId, CongosRumorId, u16, u8)>,
+    /// Latest round observed; drives eviction.
+    now: Round,
     report: AuditReport,
 }
 
@@ -133,6 +139,8 @@ impl ConfidentialityAuditor {
             whole: vec![HashSet::new(); n],
             coalitions: Vec::new(),
             split_k: HashMap::new(),
+            expiry: ExpiryRing::new(128),
+            now: Round(0),
             report: AuditReport::default(),
         }
     }
@@ -185,6 +193,17 @@ impl ConfidentialityAuditor {
         if !newly {
             return;
         }
+        // Nothing in the protocol circulates a fragment past its split's
+        // admissibility horizon, so holdings evicted at the horizon can
+        // never be referenced by a later receipt — verdicts are unaffected.
+        let expire = f.rid.birth.as_u64() + 2 * f.dline;
+        debug_assert!(
+            self.now.as_u64() <= expire,
+            "fragment received past its admissibility horizon (round {}, horizon {})",
+            self.now.as_u64(),
+            expire
+        );
+        self.expiry.insert(expire, (holder, f.rid, f.partition, f.group));
         self.check_process(holder, f.rid, f.partition);
         // Coalition pooling: check every coalition containing the holder.
         for ci in 0..self.coalitions.len() {
@@ -259,6 +278,17 @@ impl ConfidentialityAuditor {
         }
     }
 
+    /// Drops holdings whose split's admissibility horizon has passed. By
+    /// the `record_fragment` assertion no admissible receipt can reference
+    /// an evicted entry again, so every confidentiality verdict the full
+    /// history would have produced has already been produced.
+    fn evict_expired(&mut self) {
+        for (p, rid, partition, group) in self.expiry.drain_expired(self.now.as_u64()) {
+            self.holdings[p.as_usize()].remove(&(rid, partition, group));
+            self.split_k.remove(&(rid, partition));
+        }
+    }
+
     fn record_payload(&mut self, holder: ProcessId, payload: &GossipPayload) {
         if let GossipPayload::Fragments(frags) = payload {
             for f in frags {
@@ -271,8 +301,9 @@ impl ConfidentialityAuditor {
 }
 
 impl Observer<CongosNode> for ConfidentialityAuditor {
-    fn on_deliver(&mut self, env: &Envelope<CongosMsg>) {
-        match &env.payload {
+    fn on_deliver(&mut self, env: EnvelopeRef<'_, CongosMsg>) {
+        self.now = self.now.max(env.round);
+        match env.payload {
             CongosMsg::Gossip { wire, .. } => {
                 if let congos_gossip::GossipWire::Push(rumors) = wire.as_ref() {
                     for r in rumors.iter() {
@@ -340,6 +371,11 @@ impl Observer<CongosNode> for ConfidentialityAuditor {
             }
         }
     }
+
+    fn on_round_end(&mut self, round: Round) {
+        self.now = self.now.max(round);
+        self.evict_expired();
+    }
 }
 
 #[cfg(test)]
@@ -362,8 +398,8 @@ mod tests {
             partition,
             group,
             k,
-            bytes: vec![1],
-            dest: IdSet::from_iter(n, dest.iter().map(|i| ProcessId::new(*i))),
+            bytes: vec![1].into(),
+            dest: IdSet::from_iter(n, dest.iter().map(|i| ProcessId::new(*i))).into(),
             dline: 64,
         }
     }

@@ -80,6 +80,29 @@ pub struct CongosConfig {
     /// Section 7 extension: hide the *existence* of rumors by continual
     /// injection of content-free decoys.
     pub cover_traffic: Option<CoverTrafficConfig>,
+    /// Memory-lean service metadata, for large-`n` deployments:
+    ///
+    /// * `ProxyMeta` collaborator beacons and `GdShare` hit-set shares are
+    ///   injected as *best-effort* gossip rumors — epidemic forwarding and
+    ///   delivery as usual, but no per-member acknowledgment and no
+    ///   deadline fallback. Metadata consumers need only eventual
+    ///   delivery; the guaranteed-delivery machinery charges
+    ///   `Θ(|group|)` acks/fallbacks per metadata rumor, an `n²`-per-
+    ///   iteration steady-state term (every process beacons every
+    ///   iteration).
+    /// * The block-end sanitized hit-set (`Distribution`) is published by
+    ///   one designated member per group (the lowest id) instead of every
+    ///   member — the redundant copies are pure fault-tolerance slack, and
+    ///   with each copy staying active for a whole block in every
+    ///   process's forwarding set they are the single largest term of the
+    ///   resident footprint (`Θ(n² log n)` bytes system-wide).
+    ///
+    /// Rumor Quality-of-Delivery is unaffected either way (worst case a
+    /// missed confirmation, which the source's deadline fallback covers).
+    /// Default `false`: the redundant paths, preserving bit-identical
+    /// traces with prior releases. The memory sweeps (E3m) enable it to
+    /// keep large-`n` points tractable.
+    pub lean_metadata: bool,
 }
 
 /// Configuration of the cover-traffic extension.
@@ -118,6 +141,7 @@ impl CongosConfig {
             degenerate_shortcut: true,
             hide_destinations: false,
             cover_traffic: None,
+            lean_metadata: false,
         }
     }
 
@@ -168,6 +192,12 @@ impl CongosConfig {
     /// Selects the substrate's target-selection strategy.
     pub fn gossip_strategy(mut self, strategy: GossipStrategy) -> Self {
         self.gossip_strategy = strategy;
+        self
+    }
+
+    /// Enables memory-lean service metadata (see `lean_metadata`).
+    pub fn lean_metadata(mut self, enabled: bool) -> Self {
+        self.lean_metadata = enabled;
         self
     }
 

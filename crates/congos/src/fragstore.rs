@@ -1,0 +1,417 @@
+//! Hash-consed storage for fragment bytes and destination sets.
+//!
+//! A rumor split into `k` fragments over `p` partitions produces `k·p`
+//! [`Fragment`](crate::messages::Fragment) values, every one of which used
+//! to own a copy of the rumor's destination set, and every service buffer
+//! (proxy carry-over, GD partials, gossip push batches) used to own copies
+//! of the fragment bytes. At `n = 8192` the destination bitmaps alone are
+//! `n/8` bytes each, so the duplication dominated resident memory.
+//!
+//! [`FragStore`] interns both: identical byte strings and identical
+//! destination sets are stored once, behind the cheap handles
+//! [`FragBytes`] and [`DestRef`] (shared `Arc`s with content equality).
+//! The store holds only weak references — when the last fragment
+//! referencing an allocation is dropped, the allocation dies with it and
+//! the store's slot is pruned lazily on the next intern or [`gc`] call.
+//!
+//! Interning never changes what a fragment *is* (handles compare by
+//! content), so wire encodings, trace digests and the confidentiality
+//! audit are unaffected: the refactor is observable only through
+//! [`FragStore::stats`].
+//!
+//! [`gc`]: FragStore::gc
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+use congos_sim::IdSet;
+
+/// FNV-1a over a byte slice — the same construction the trace fingerprint
+/// uses, applied here for interner bucketing only.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn hash_idset(s: &IdSet) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(s.universe() as u64);
+    for p in s.iter() {
+        mix(p.as_usize() as u64);
+    }
+    h
+}
+
+/// A shared, interned fragment byte string.
+///
+/// Dereferences to `[u8]`; equality and hashing are by content, with a
+/// pointer-identity fast path (two handles from the same store that compare
+/// equal are the same allocation).
+#[derive(Clone)]
+pub struct FragBytes(Arc<[u8]>);
+
+impl FragBytes {
+    /// `true` if both handles point at the same allocation.
+    pub fn ptr_eq(a: &FragBytes, b: &FragBytes) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl Deref for FragBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for FragBytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl PartialEq for FragBytes {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+impl Eq for FragBytes {}
+
+impl Hash for FragBytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl fmt::Debug for FragBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FragBytes({} bytes)", self.0.len())
+    }
+}
+
+/// Interns through the global store.
+impl From<Vec<u8>> for FragBytes {
+    fn from(v: Vec<u8>) -> Self {
+        FragStore::global().intern_bytes(&v)
+    }
+}
+
+/// Interns through the global store.
+impl From<&[u8]> for FragBytes {
+    fn from(v: &[u8]) -> Self {
+        FragStore::global().intern_bytes(v)
+    }
+}
+
+/// A shared, interned destination set.
+///
+/// Dereferences to [`IdSet`]; equality and hashing are by content, with a
+/// pointer-identity fast path.
+#[derive(Clone)]
+pub struct DestRef(Arc<IdSet>);
+
+impl DestRef {
+    /// `true` if both handles point at the same allocation.
+    pub fn ptr_eq(a: &DestRef, b: &DestRef) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl Deref for DestRef {
+    type Target = IdSet;
+    fn deref(&self) -> &IdSet {
+        &self.0
+    }
+}
+
+impl AsRef<IdSet> for DestRef {
+    fn as_ref(&self) -> &IdSet {
+        &self.0
+    }
+}
+
+impl PartialEq for DestRef {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+impl Eq for DestRef {}
+
+impl Hash for DestRef {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl fmt::Debug for DestRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+/// Interns through the global store.
+impl From<IdSet> for DestRef {
+    fn from(s: IdSet) -> Self {
+        FragStore::global().intern_dest(&s)
+    }
+}
+
+/// Interns through the global store.
+impl From<&IdSet> for DestRef {
+    fn from(s: &IdSet) -> Self {
+        FragStore::global().intern_dest(s)
+    }
+}
+
+/// Counters describing interner effectiveness (monotonic hit/miss tallies
+/// plus a point-in-time census of live allocations).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FragStoreStats {
+    /// Interns that found an existing allocation.
+    pub hits: u64,
+    /// Interns that had to allocate.
+    pub misses: u64,
+    /// Byte strings currently alive.
+    pub live_bytes: usize,
+    /// Destination sets currently alive.
+    pub live_dests: usize,
+    /// Total payload bytes held by live byte strings.
+    pub resident_payload: usize,
+}
+
+/// Hash-consing interner for fragment byte strings and destination sets.
+///
+/// Thread-safe; the engine's parallel backend interns from worker threads.
+/// Entries are weak: the store never keeps an allocation alive on its own.
+pub struct FragStore {
+    bytes: Mutex<HashMap<u64, Vec<Weak<[u8]>>>>,
+    dests: Mutex<HashMap<u64, Vec<Weak<IdSet>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for FragStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FragStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        FragStore {
+            bytes: Mutex::new(HashMap::new()),
+            dests: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide store used by the `From` conversions and the codec.
+    pub fn global() -> &'static FragStore {
+        static GLOBAL: OnceLock<FragStore> = OnceLock::new();
+        GLOBAL.get_or_init(FragStore::new)
+    }
+
+    /// Interns a byte string: returns a handle to an existing identical
+    /// allocation if one is alive, otherwise stores `bytes` and returns a
+    /// handle to the new allocation.
+    pub fn intern_bytes(&self, bytes: &[u8]) -> FragBytes {
+        let key = fnv1a(bytes);
+        let mut map = self.bytes.lock().expect("fragstore poisoned");
+        let bucket = map.entry(key).or_default();
+        let mut found = None;
+        bucket.retain(|w| match w.upgrade() {
+            Some(arc) => {
+                if found.is_none() && *arc == *bytes {
+                    found = Some(arc);
+                }
+                true
+            }
+            None => false,
+        });
+        match found {
+            Some(arc) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                FragBytes(arc)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let arc: Arc<[u8]> = Arc::from(bytes);
+                bucket.push(Arc::downgrade(&arc));
+                FragBytes(arc)
+            }
+        }
+    }
+
+    /// Interns a destination set (see [`intern_bytes`](Self::intern_bytes)).
+    pub fn intern_dest(&self, set: &IdSet) -> DestRef {
+        let key = hash_idset(set);
+        let mut map = self.dests.lock().expect("fragstore poisoned");
+        let bucket = map.entry(key).or_default();
+        let mut found = None;
+        bucket.retain(|w| match w.upgrade() {
+            Some(arc) => {
+                if found.is_none() && *arc == *set {
+                    found = Some(arc);
+                }
+                true
+            }
+            None => false,
+        });
+        match found {
+            Some(arc) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                DestRef(arc)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let arc = Arc::new(set.clone());
+                bucket.push(Arc::downgrade(&arc));
+                DestRef(arc)
+            }
+        }
+    }
+
+    /// Drops dead weak entries and empty buckets. Interning prunes the
+    /// bucket it touches; `gc` sweeps everything (call between experiment
+    /// points, not per round).
+    pub fn gc(&self) {
+        let mut bytes = self.bytes.lock().expect("fragstore poisoned");
+        for bucket in bytes.values_mut() {
+            bucket.retain(|w| w.strong_count() > 0);
+        }
+        bytes.retain(|_, b| !b.is_empty());
+        let mut dests = self.dests.lock().expect("fragstore poisoned");
+        for bucket in dests.values_mut() {
+            bucket.retain(|w| w.strong_count() > 0);
+        }
+        dests.retain(|_, b| !b.is_empty());
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> FragStoreStats {
+        let bytes = self.bytes.lock().expect("fragstore poisoned");
+        let (mut live_bytes, mut resident) = (0usize, 0usize);
+        for bucket in bytes.values() {
+            for w in bucket {
+                if let Some(arc) = w.upgrade() {
+                    live_bytes += 1;
+                    resident += arc.len();
+                }
+            }
+        }
+        drop(bytes);
+        let dests = self.dests.lock().expect("fragstore poisoned");
+        let live_dests = dests
+            .values()
+            .flat_map(|b| b.iter())
+            .filter(|w| w.strong_count() > 0)
+            .count();
+        FragStoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            live_bytes,
+            live_dests,
+            resident_payload: resident,
+        }
+    }
+}
+
+impl fmt::Debug for FragStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FragStore").field("stats", &self.stats()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congos_sim::ProcessId;
+
+    #[test]
+    fn interning_identical_bytes_shares_the_allocation() {
+        let store = FragStore::new();
+        let a = store.intern_bytes(b"fragment");
+        let b = store.intern_bytes(b"fragment");
+        assert!(FragBytes::ptr_eq(&a, &b));
+        assert_eq!(a, b);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.live_bytes, 1);
+        assert_eq!(stats.resident_payload, 8);
+    }
+
+    #[test]
+    fn distinct_contents_do_not_alias() {
+        let store = FragStore::new();
+        let a = store.intern_bytes(b"pad-one!");
+        let b = store.intern_bytes(b"pad-two!");
+        assert!(!FragBytes::ptr_eq(&a, &b));
+        assert_ne!(a, b);
+        assert_eq!(store.stats().live_bytes, 2);
+    }
+
+    #[test]
+    fn dropping_all_handles_releases_the_allocation() {
+        let store = FragStore::new();
+        let a = store.intern_bytes(&[7u8; 128]);
+        let b = a.clone();
+        drop(a);
+        assert_eq!(store.stats().live_bytes, 1);
+        drop(b);
+        assert_eq!(store.stats().live_bytes, 0);
+        store.gc();
+        assert!(store.bytes.lock().unwrap().is_empty(), "gc drops dead slots");
+        // A fresh intern after release allocates anew.
+        let c = store.intern_bytes(&[7u8; 128]);
+        assert_eq!(&*c, &[7u8; 128]);
+    }
+
+    #[test]
+    fn dest_interning_shares_and_releases() {
+        let store = FragStore::new();
+        let set = IdSet::from_iter(64, [ProcessId::new(3), ProcessId::new(17)]);
+        let a = store.intern_dest(&set);
+        let b = store.intern_dest(&set.clone());
+        assert!(DestRef::ptr_eq(&a, &b));
+        assert!(a.contains(ProcessId::new(17)));
+        assert_eq!(store.stats().live_dests, 1);
+        drop((a, b));
+        assert_eq!(store.stats().live_dests, 0);
+    }
+
+    #[test]
+    fn global_store_backs_from_conversions() {
+        let a: FragBytes = vec![9u8, 9, 9].into();
+        let b: FragBytes = vec![9u8, 9, 9].into();
+        assert!(FragBytes::ptr_eq(&a, &b));
+        let s = IdSet::from_iter(8, [ProcessId::new(1)]);
+        let d1: DestRef = s.clone().into();
+        let d2: DestRef = (&s).into();
+        assert!(DestRef::ptr_eq(&d1, &d2));
+    }
+
+    #[test]
+    fn empty_bytes_intern_fine() {
+        let store = FragStore::new();
+        let a = store.intern_bytes(&[]);
+        let b = store.intern_bytes(&[]);
+        assert!(FragBytes::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 0);
+    }
+}

@@ -58,6 +58,7 @@
 
 pub mod audit;
 pub mod config;
+pub mod fragstore;
 pub mod messages;
 pub mod node;
 pub mod oneshot;
@@ -67,6 +68,7 @@ pub mod services;
 pub mod split;
 
 pub use audit::{AuditReport, ConfidentialityAuditor};
+pub use fragstore::{DestRef, FragBytes, FragStore, FragStoreStats};
 pub use config::{CongosConfig, CoverTrafficConfig, PartitionScheme};
 pub use messages::{tag_by_name, CongosMsg, Fragment, GossipPayload, TAG_ALL_GOSSIP, TAG_GD,
     TAG_GROUP_GOSSIP, TAG_PROXY, TAG_SHOOT};

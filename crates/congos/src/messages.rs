@@ -3,8 +3,9 @@
 use std::sync::Arc;
 
 use congos_gossip::GossipWire;
-use congos_sim::{IdSet, ProcessId, Tag};
+use congos_sim::{ProcessId, Tag};
 
+use crate::fragstore::{DestRef, FragBytes};
 use crate::rumor::{CongosRumorId, Rumor};
 
 /// One fragment of a split rumor, for one partition.
@@ -27,10 +28,13 @@ pub struct Fragment {
     pub group: u8,
     /// Total fragments in this split (`τ+1`).
     pub k: u8,
-    /// The fragment bytes (a uniform pad, or the XOR-masked residue).
-    pub bytes: Vec<u8>,
-    /// The rumor's destination set `ρ.D` (metadata).
-    pub dest: IdSet,
+    /// The fragment bytes (a uniform pad, or the XOR-masked residue),
+    /// interned in the [`crate::fragstore::FragStore`]: every copy of this
+    /// fragment shares one allocation.
+    pub bytes: FragBytes,
+    /// The rumor's destination set `ρ.D` (metadata), interned: all `k·p`
+    /// fragments of one rumor share one allocation.
+    pub dest: DestRef,
     /// Trimmed deadline class of the rumor (selects the protocol instance).
     pub dline: u64,
 }
@@ -41,10 +45,13 @@ impl Fragment {
         (self.rid, self.partition)
     }
 
-    /// Estimated wire size in bytes: fragment payload + destination bitmap
-    /// + fixed metadata (ids, indices).
+    /// Exact wire size in bytes — what the codec's fragment encoder emits:
+    /// rumor id (16) + wid (8) + partition (2) + group (1) + k (1) +
+    /// length-prefixed payload (4 + len) + destination bitmap
+    /// (4 + ⌈universe/8⌉) + deadline (8). The round-trip test in
+    /// `congos-net` pins this against the encoder byte-for-byte.
     pub fn wire_size(&self) -> u64 {
-        self.bytes.len() as u64 + self.dest.universe().div_ceil(8) as u64 + 24
+        44 + self.bytes.len() as u64 + self.dest.universe().div_ceil(8) as u64
     }
 }
 
@@ -243,8 +250,8 @@ mod tests {
             partition,
             group,
             k: 2,
-            bytes: vec![],
-            dest: IdSet::empty(4),
+            bytes: vec![].into(),
+            dest: congos_sim::IdSet::empty(4).into(),
             dline: 64,
         };
         assert_eq!(f(0, 1).split_key(), f(1, 1).split_key());

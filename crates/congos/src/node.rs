@@ -4,13 +4,14 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use congos_sim::clock::trim_deadline;
-use congos_sim::{Context, Envelope, IdSet, ProcessId, Protocol, Round};
+use congos_sim::{Context, IdSet, Inbox, ProcessId, Protocol, Round};
 
 use crate::config::{CongosConfig, PartitionScheme};
 use crate::messages::{CongosMsg, Fragment, TAG_SHOOT};
 use crate::partition::PartitionSet;
 use crate::rumor::{CongosInput, CongosRumorId, DeliveredRumor, DeliveryPath, Rumor};
 use crate::services::class_engine::{ClassEngine, ClassStats};
+use crate::services::hit_history::ExpiryRing;
 use crate::split;
 
 /// Node-level statistics for experiments.
@@ -36,7 +37,8 @@ pub struct NodeStats {
 struct PartsEntry {
     k: u8,
     wid: u64,
-    got: BTreeMap<u8, Vec<u8>>,
+    /// Fragment bytes by group — interned handles, shared with the store.
+    got: BTreeMap<u8, crate::fragstore::FragBytes>,
 }
 
 /// One process running CONGOS.
@@ -57,6 +59,10 @@ pub struct CongosNode {
     /// Saved fragments for reassembly: `(rumor, partition) → group → bytes`.
     parts: HashMap<(CongosRumorId, u16), PartsEntry>,
     delivered: HashSet<CongosRumorId>,
+    /// Expiry indexes over `parts` / `delivered`: pruning walks only expired
+    /// ring buckets instead of scanning the whole map every 512 rounds.
+    parts_expiry: ExpiryRing<(CongosRumorId, u16)>,
+    delivered_expiry: ExpiryRing<CongosRumorId>,
     injected: u64,
     direct: u64,
     decoys_injected: u64,
@@ -99,6 +105,8 @@ impl CongosNode {
             classes: BTreeMap::new(),
             parts: HashMap::new(),
             delivered: HashSet::new(),
+            parts_expiry: ExpiryRing::new(512),
+            delivered_expiry: ExpiryRing::new(512),
             injected: 0,
             direct: 0,
             decoys_injected: 0,
@@ -229,17 +237,19 @@ impl CongosNode {
         if !f.dest.contains(self.me) || self.delivered.contains(&f.rid) {
             return;
         }
-        let entry = self
-            .parts
-            .entry((f.rid, f.partition))
-            .or_insert_with(|| PartsEntry {
-                k: f.k,
-                wid: f.wid,
-                got: BTreeMap::new(),
-            });
+        let key = (f.rid, f.partition);
+        if !self.parts.contains_key(&key) {
+            let horizon = 2 * self.cfg.deadline_cap(self.n);
+            self.parts_expiry.insert((f.rid.birth + horizon).as_u64(), key);
+        }
+        let entry = self.parts.entry(key).or_insert_with(|| PartsEntry {
+            k: f.k,
+            wid: f.wid,
+            got: BTreeMap::new(),
+        });
         entry.got.insert(f.group, f.bytes);
         if entry.got.len() == entry.k as usize {
-            let refs: Vec<&[u8]> = entry.got.values().map(|b| b.as_slice()).collect();
+            let refs: Vec<&[u8]> = entry.got.values().map(|b| &b[..]).collect();
             if let Some(data) = split::merge(&refs) {
                 let wid = entry.wid;
                 self.deliver(
@@ -257,7 +267,11 @@ impl CongosNode {
 
     fn deliver(&mut self, ctx: &mut Context<'_, Self>, mut out: DeliveredRumor) {
         if self.delivered.insert(out.rid) {
-            // Reassembly state for this rumor is no longer needed.
+            let horizon = 2 * self.cfg.deadline_cap(self.n);
+            self.delivered_expiry
+                .insert((out.rid.birth + horizon).as_u64(), out.rid);
+            // Reassembly state for this rumor is no longer needed. (Its
+            // expiry-ring keys go stale; draining them later is a no-op.)
             self.parts.retain(|(rid, _), _| *rid != out.rid);
             // Decoys (unframe → None) are silently discarded.
             if let Some(data) = self.unframe(std::mem::take(&mut out.data)) {
@@ -381,10 +395,16 @@ impl CongosNode {
     }
 
     fn prune(&mut self, now: Round) {
-        let horizon = 2 * self.cfg.deadline_cap(self.n);
-        self.parts
-            .retain(|(rid, _), _| rid.birth + horizon >= now);
-        self.delivered.retain(|rid| rid.birth + horizon >= now);
+        // Expiry rings were filed with `birth + 2·deadline_cap`, so draining
+        // `expire < now` removes exactly the keys the old full-scan
+        // `retain(birth + horizon >= now)` removed — without walking the
+        // live entries.
+        for key in self.parts_expiry.drain_expired(now.as_u64()) {
+            self.parts.remove(&key);
+        }
+        for rid in self.delivered_expiry.drain_expired(now.as_u64()) {
+            self.delivered.remove(&rid);
+        }
     }
 }
 
@@ -434,7 +454,7 @@ impl Protocol for CongosNode {
     fn receive(
         &mut self,
         ctx: &mut Context<'_, Self>,
-        inbox: &[Envelope<Self::Msg>],
+        inbox: Inbox<'_, Self::Msg>,
         input: Option<Self::Input>,
     ) {
         let now = ctx.round();

@@ -11,7 +11,7 @@
 //! rumor-cache, the confirmation matrix `hitSetM`, and the deadline
 //! fallback.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
@@ -27,6 +27,7 @@ use crate::messages::{
 use crate::partition::PartitionSet;
 use crate::rumor::{CongosRumorId, Rumor};
 use crate::services::group_distribution::GdService;
+use crate::services::hit_history::HitHistory;
 use crate::services::proxy::ProxyService;
 use crate::split;
 
@@ -64,7 +65,8 @@ pub(crate) struct ClassEngine {
     lanes: Vec<Lane>,
     all_gossip: ContinuousGossip<Arc<GossipPayload>>,
     cache: BTreeMap<CongosRumorId, CachedRumor>,
-    hit_matrix: HashMap<(u16, u8), HashSet<(ProcessId, CongosRumorId)>>,
+    /// Confirmation matrix `hitSetM`, ring-buffered by birth epoch.
+    hit_matrix: HitHistory,
     stats: ClassStats,
 }
 
@@ -98,7 +100,7 @@ impl ClassEngine {
             lanes,
             all_gossip: ContinuousGossip::new(me, n, GossipConfig::all(n, TAG_ALL_GOSSIP)),
             cache: BTreeMap::new(),
-            hit_matrix: HashMap::new(),
+            hit_matrix: HitHistory::new(dline),
             stats: ClassStats::default(),
         }
     }
@@ -142,10 +144,13 @@ impl ClassEngine {
         rumor: Rumor,
         partitions: &PartitionSet,
     ) {
+        // One interned destination set shared by all k·p fragments.
+        let store = crate::fragstore::FragStore::global();
+        let dest = store.intern_dest(&rumor.dest);
         for lane in &mut self.lanes {
             let partition = partitions.partition(lane.ell as usize);
             let k = partition.group_count();
-            let frags = split::split(rng, &rumor.data, k);
+            let frags = split::split_interned(rng, &rumor.data, k, store);
             for (g, bytes) in frags.into_iter().enumerate() {
                 let fragment = Fragment {
                     rid,
@@ -154,7 +159,7 @@ impl ClassEngine {
                     group: g as u8,
                     k: k as u8,
                     bytes,
-                    dest: rumor.dest.clone(),
+                    dest: dest.clone(),
                     dline: self.dline,
                 };
                 if g as u8 == lane.my_group {
@@ -256,25 +261,32 @@ impl ClassEngine {
                         );
                     }
                     if lane.proxy.beacon() || !failed.is_empty() {
-                        lane.gossip.inject(
-                            now,
-                            Arc::new(GossipPayload::ProxyMeta {
-                                failed_proxies: failed,
-                            }),
-                            self.sqrt_d,
-                            group_set,
-                        );
+                        let payload = Arc::new(GossipPayload::ProxyMeta {
+                            failed_proxies: failed,
+                        });
+                        if cfg.lean_metadata {
+                            // One epidemic round: every process re-beacons
+                            // each iteration anyway, so a longer forwarding
+                            // window only multiplies the active-set size
+                            // (Θ(|group|) metadata rumors per instance).
+                            lane.gossip.inject_best_effort(now, payload, 1, group_set);
+                        } else {
+                            lane.gossip.inject(now, payload, self.sqrt_d, group_set);
+                        }
                     }
                 }
                 Some(2) => {
                     if let Some(hits) = lane.gd.gossip_share() {
                         let group_set = partition.group(lane.my_group).clone();
-                        lane.gossip.inject(
-                            now,
-                            Arc::new(GossipPayload::GdShare { hits }),
-                            self.sqrt_d,
-                            group_set,
-                        );
+                        let payload = Arc::new(GossipPayload::GdShare { hits });
+                        if cfg.lean_metadata {
+                            // One epidemic round, as for the beacons: shares
+                            // are re-published every iteration, and slower
+                            // aggregation costs at most a confirmation.
+                            lane.gossip.inject_best_effort(now, payload, 1, group_set);
+                        } else {
+                            lane.gossip.inject(now, payload, self.sqrt_d, group_set);
+                        }
                     }
                 }
                 Some(o) if o == last_iter_round => {
@@ -292,7 +304,15 @@ impl ClassEngine {
                 _ => {}
             }
             if self.clock.is_block_end(now) {
-                if let Some(hits) = lane.gd.end_of_block() {
+                // Under lean metadata, one designated member per group (the
+                // lowest id) publishes the sanitized hit-set; the other
+                // copies are fault-tolerance redundancy, and each stays
+                // active for a whole block in every process's forwarding
+                // set. A missed publication costs a confirmation, never
+                // delivery (the source's deadline fallback covers it).
+                let publisher = !cfg.lean_metadata
+                    || partition.group(lane.my_group).iter().next() == Some(self.me);
+                if let Some(hits) = lane.gd.end_of_block().filter(|_| publisher) {
                     // The paper gossips the sanitized hit-set to [n]; only
                     // the rumor *sources* ever consult it, so the guaranteed
                     // destination set is the sources — everyone else still
@@ -424,9 +444,7 @@ impl ClassEngine {
             } = rumor.payload.as_ref()
             {
                 self.hit_matrix
-                    .entry((*partition, *group))
-                    .or_default()
-                    .extend(hits.iter().copied());
+                    .extend(*partition, *group, hits.iter().copied());
             }
         }
         to_save
@@ -453,11 +471,10 @@ impl ClassEngine {
     fn is_confirmed(&self, rid: CongosRumorId, rumor: &Rumor, partitions: &PartitionSet) -> bool {
         partitions.iter().any(|(ell, p)| {
             (0..p.group_count() as u8).all(|g| {
-                let hits = self.hit_matrix.get(&(ell as u16, g));
                 rumor
                     .dest
                     .iter()
-                    .all(|q| hits.is_some_and(|h| h.contains(&(q, rid))))
+                    .all(|q| self.hit_matrix.contains(ell as u16, g, q, rid))
             })
         })
     }
@@ -497,13 +514,11 @@ impl ClassEngine {
         out
     }
 
-    /// Drops confirmation entries for long-expired rumors.
+    /// Drops confirmation entries for long-expired rumors: whole birth-epoch
+    /// buckets whose every possible entry is past `birth + 2·dline`. O(evicted),
+    /// not O(live) — and never an entry a cached rumor could still query.
     fn prune(&mut self, now: Round) {
-        let horizon = self.dline * 2;
-        for set in self.hit_matrix.values_mut() {
-            set.retain(|(_, rid)| rid.birth + horizon >= now);
-        }
-        self.hit_matrix.retain(|_, s| !s.is_empty());
+        self.hit_matrix.evict_expired(now);
     }
 
     /// Fallback count plus confirmation count of the substrate endpoints —
@@ -638,11 +653,7 @@ mod tests {
         // Hand-feed Distribution metadata claiming p3 got every group's
         // fragment of partition 0.
         for g in 0..2u8 {
-            engine
-                .hit_matrix
-                .entry((0, g))
-                .or_default()
-                .insert((ProcessId::new(3), rid));
+            engine.hit_matrix.extend(0, g, [(ProcessId::new(3), rid)]);
         }
         // Run to expiry: the confirmation check clears the cache before the
         // fallback would fire.
@@ -666,11 +677,7 @@ mod tests {
         let (rid, r) = rumor(n, &[3]);
         engine.inject(Round(0), &mut rng, rid, r, &partitions);
         // Only group 0 of partition 0 reported the hit: unsound to confirm.
-        engine
-            .hit_matrix
-            .entry((0, 0))
-            .or_default()
-            .insert((ProcessId::new(3), rid));
+        engine.hit_matrix.extend(0, 0, [(ProcessId::new(3), rid)]);
         engine.check_confirmations(&partitions);
         assert_eq!(engine.stats().confirmed, 0);
         assert_eq!(engine.cache_len(), 1);

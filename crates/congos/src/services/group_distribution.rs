@@ -230,8 +230,8 @@ mod tests {
             partition: 0,
             group,
             k: 2,
-            bytes: vec![9],
-            dest: IdSet::from_iter(n, dest.iter().map(|i| ProcessId::new(*i))),
+            bytes: vec![9].into(),
+            dest: IdSet::from_iter(n, dest.iter().map(|i| ProcessId::new(*i))).into(),
             dline: 64,
         }
     }

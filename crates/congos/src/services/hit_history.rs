@@ -1,0 +1,305 @@
+//! Bounded, ring-buffered retention for hit-sets and per-split state.
+//!
+//! The confirmation matrix `hitSetM` (Figure 8), the reassembly buffers and
+//! the delivery-dedup set all key their entries by a rumor id whose `birth`
+//! bounds the entry's useful life: a rumor of deadline class `d` is out of
+//! its source's cache by `birth + d`, and nothing in the protocol circulates
+//! its fragments past `birth + 2d`. The old code retained these maps
+//! unboundedly between full-scan prunes — at `n = 8192` the scans and the
+//! resident tail dominated both time and memory.
+//!
+//! [`HitHistory`] stores the confirmation matrix as a ring of birth-epoch
+//! buckets (one epoch = one deadline block) and evicts whole buckets once
+//! every birth they can contain is past the admissibility horizon
+//! `birth + 2d < now`. Eviction is O(bucket), not O(live entries), and — the
+//! audit contract — **never removes an entry that is still admissible**: a
+//! queryable entry belongs to a cached rumor (`birth + d > now`), which by
+//! construction lives in a bucket the horizon cannot reach. The same
+//! argument makes eviction trace-neutral: entries the old full-scan prune
+//! kept but the ring drops (or vice versa) are never queried.
+//!
+//! [`ExpiryRing`] is the index-only variant for state owned elsewhere
+//! (`CongosNode::parts` / `delivered`, the auditor's holdings): it buckets
+//! keys by expiry round and replays exactly the old `retain` predicate at
+//! eviction time, scanning only expired buckets plus at most one straddling
+//! bucket.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use congos_sim::{ProcessId, Round};
+
+use crate::rumor::CongosRumorId;
+
+/// One hit: a `(target, rumor)` pair some group member reports having
+/// served (the sanitized `Distribution` metadata of Figure 10).
+pub(crate) type Hit = (ProcessId, CongosRumorId);
+
+struct HitBucket {
+    /// Birth epoch: `rid.birth / dline`.
+    epoch: u64,
+    hits: HashMap<(u16, u8), HashSet<Hit>>,
+}
+
+/// The confirmation matrix with ring-buffered, block-granular eviction.
+pub(crate) struct HitHistory {
+    dline: u64,
+    /// Oldest epoch first; almost always ≤ 3 buckets alive.
+    buckets: VecDeque<HitBucket>,
+    /// Entries evicted so far (diagnostics / memory accounting).
+    evicted: u64,
+}
+
+impl HitHistory {
+    pub(crate) fn new(dline: u64) -> Self {
+        assert!(dline > 0, "deadline class must be positive");
+        HitHistory {
+            dline,
+            buckets: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    fn epoch_of(&self, rid: &CongosRumorId) -> u64 {
+        rid.birth.as_u64() / self.dline
+    }
+
+    fn bucket_mut(&mut self, epoch: u64) -> &mut HitBucket {
+        // Common case: the newest bucket. Out-of-order (older-epoch) inserts
+        // happen only for hits straggling across a block boundary.
+        let pos = self.buckets.iter().position(|b| b.epoch >= epoch);
+        match pos {
+            Some(i) if self.buckets[i].epoch == epoch => &mut self.buckets[i],
+            Some(i) => {
+                self.buckets.insert(
+                    i,
+                    HitBucket {
+                        epoch,
+                        hits: HashMap::new(),
+                    },
+                );
+                &mut self.buckets[i]
+            }
+            None => {
+                self.buckets.push_back(HitBucket {
+                    epoch,
+                    hits: HashMap::new(),
+                });
+                self.buckets.back_mut().expect("just pushed")
+            }
+        }
+    }
+
+    /// Records hits for `(partition, group)`.
+    pub(crate) fn extend<I: IntoIterator<Item = Hit>>(
+        &mut self,
+        partition: u16,
+        group: u8,
+        hits: I,
+    ) {
+        for hit in hits {
+            let epoch = self.epoch_of(&hit.1);
+            self.bucket_mut(epoch)
+                .hits
+                .entry((partition, group))
+                .or_default()
+                .insert(hit);
+        }
+    }
+
+    /// `true` if `(target, rid)` was reported served by `(partition, group)`.
+    pub(crate) fn contains(&self, partition: u16, group: u8, target: ProcessId, rid: CongosRumorId) -> bool {
+        let epoch = self.epoch_of(&rid);
+        self.buckets
+            .iter()
+            .find(|b| b.epoch == epoch)
+            .and_then(|b| b.hits.get(&(partition, group)))
+            .is_some_and(|set| set.contains(&(target, rid)))
+    }
+
+    /// Drops every bucket whose entire birth range is past the horizon
+    /// `birth + 2·dline < now` — i.e. the split's deadline block expired a
+    /// full block ago. Still-admissible entries (a cached rumor has
+    /// `birth + dline > now`) can never be in such a bucket.
+    pub(crate) fn evict_expired(&mut self, now: Round) {
+        while let Some(front) = self.buckets.front() {
+            // Max birth in epoch e is (e+1)·d − 1; evict when even that is
+            // out of horizon: (e+1)d − 1 + 2d < now.
+            let max_birth = (front.epoch + 1) * self.dline - 1;
+            if max_birth + 2 * self.dline >= now.as_u64() {
+                break;
+            }
+            let dead = self.buckets.pop_front().expect("front exists");
+            for set in dead.hits.values() {
+                self.evicted += set.len() as u64;
+                debug_assert!(
+                    set.iter()
+                        .all(|(_, rid)| rid.birth.as_u64() + self.dline < now.as_u64()),
+                    "evicted a still-admissible hit-set entry"
+                );
+            }
+        }
+    }
+
+    /// Live entries across all buckets (diagnostics).
+    #[allow(dead_code)]
+    pub(crate) fn len(&self) -> usize {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.hits.values())
+            .map(|s| s.len())
+            .sum()
+    }
+
+    /// Total entries evicted so far.
+    #[allow(dead_code)]
+    pub(crate) fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+/// An expiry index over keys owned by another container: keys are filed
+/// under their expiry round; [`drain_expired`](Self::drain_expired) returns
+/// exactly the keys with `expire < now`, touching only expired buckets and
+/// at most one straddling bucket.
+#[derive(Clone, Debug)]
+pub(crate) struct ExpiryRing<K> {
+    /// Bucket width in rounds.
+    width: u64,
+    /// Oldest first: `(epoch, keys expiring in [epoch·w, (epoch+1)·w))`.
+    buckets: VecDeque<(u64, Vec<(u64, K)>)>,
+}
+
+impl<K> ExpiryRing<K> {
+    pub(crate) fn new(width: u64) -> Self {
+        assert!(width > 0, "bucket width must be positive");
+        ExpiryRing {
+            width,
+            buckets: VecDeque::new(),
+        }
+    }
+
+    /// Files `key` under `expire`.
+    pub(crate) fn insert(&mut self, expire: u64, key: K) {
+        let epoch = expire / self.width;
+        let pos = self.buckets.iter().position(|(e, _)| *e >= epoch);
+        match pos {
+            Some(i) if self.buckets[i].0 == epoch => self.buckets[i].1.push((expire, key)),
+            Some(i) => self.buckets.insert(i, (epoch, vec![(expire, key)])),
+            None => self.buckets.push_back((epoch, vec![(expire, key)])),
+        }
+    }
+
+    /// Removes and returns every key with `expire < now`, in filing order
+    /// within each bucket. Duplicate keys and keys already removed from the
+    /// owning container are the caller's concern (removal is a no-op there).
+    pub(crate) fn drain_expired(&mut self, now: u64) -> Vec<K> {
+        let mut out = Vec::new();
+        while let Some((epoch, _)) = self.buckets.front() {
+            let bucket_end = (*epoch + 1) * self.width; // first round ≥ bucket
+            if bucket_end <= now {
+                // Entire bucket expired.
+                let (_, keys) = self.buckets.pop_front().expect("front exists");
+                out.extend(keys.into_iter().map(|(_, k)| k));
+            } else if *epoch * self.width < now {
+                // Straddling bucket: apply the exact predicate per key.
+                let (_, keys) = self.buckets.front_mut().expect("front exists");
+                let mut keep = Vec::with_capacity(keys.len());
+                for (exp, k) in keys.drain(..) {
+                    if exp < now {
+                        out.push(k);
+                    } else {
+                        keep.push((exp, k));
+                    }
+                }
+                *keys = keep;
+                break;
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Keys currently filed (including stale duplicates).
+    #[allow(dead_code)]
+    pub(crate) fn len(&self) -> usize {
+        self.buckets.iter().map(|(_, k)| k.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(src: usize, birth: u64) -> CongosRumorId {
+        CongosRumorId {
+            source: ProcessId::new(src),
+            birth: Round(birth),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn hits_are_queryable_until_the_horizon() {
+        let mut h = HitHistory::new(16);
+        let r = rid(0, 5);
+        h.extend(0, 1, [(ProcessId::new(3), r)]);
+        assert!(h.contains(0, 1, ProcessId::new(3), r));
+        assert!(!h.contains(0, 0, ProcessId::new(3), r), "wrong group");
+        assert!(!h.contains(1, 1, ProcessId::new(3), r), "wrong partition");
+
+        // Still inside the horizon: birth 5 + 2·16 = 37 ≥ now.
+        h.evict_expired(Round(37));
+        assert!(h.contains(0, 1, ProcessId::new(3), r));
+        assert_eq!(h.evicted(), 0);
+
+        // Epoch 0 covers births 0..=15; evictable once 15 + 32 < now.
+        h.evict_expired(Round(48));
+        assert!(!h.contains(0, 1, ProcessId::new(3), r));
+        assert_eq!(h.evicted(), 1);
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn eviction_is_whole_bucket_and_order_safe() {
+        let mut h = HitHistory::new(8);
+        // Straggler insert for an older epoch after a newer one exists.
+        h.extend(0, 0, [(ProcessId::new(1), rid(0, 20))]);
+        h.extend(0, 0, [(ProcessId::new(1), rid(0, 3))]);
+        assert_eq!(h.len(), 2);
+        assert!(h.contains(0, 0, ProcessId::new(1), rid(0, 3)));
+        // Epoch 0 (births 0..=7) dies once 7 + 16 < now; epoch 2 survives.
+        h.evict_expired(Round(24));
+        assert!(!h.contains(0, 0, ProcessId::new(1), rid(0, 3)));
+        assert!(h.contains(0, 0, ProcessId::new(1), rid(0, 20)));
+    }
+
+    #[test]
+    fn expiry_ring_replays_the_exact_predicate() {
+        let mut ring = ExpiryRing::new(512);
+        for exp in [100u64, 600, 601, 1100, 5000] {
+            ring.insert(exp, exp);
+        }
+        // now = 601: keys 100 and 600 expired; 601 (straddling bucket) kept.
+        let mut gone = ring.drain_expired(601);
+        gone.sort_unstable();
+        assert_eq!(gone, vec![100, 600]);
+        assert_eq!(ring.len(), 3);
+        // Nothing more until the next horizon.
+        assert!(ring.drain_expired(601).is_empty());
+        let mut gone = ring.drain_expired(2000);
+        gone.sort_unstable();
+        assert_eq!(gone, vec![601, 1100]);
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn expiry_ring_handles_out_of_order_inserts() {
+        let mut ring = ExpiryRing::new(64);
+        ring.insert(1000, "late");
+        ring.insert(10, "early");
+        ring.insert(500, "mid");
+        let gone = ring.drain_expired(1001);
+        assert_eq!(gone, vec!["early", "mid", "late"], "oldest bucket first");
+    }
+}

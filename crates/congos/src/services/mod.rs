@@ -4,6 +4,7 @@
 
 pub(crate) mod class_engine;
 pub(crate) mod group_distribution;
+pub(crate) mod hit_history;
 pub(crate) mod proxy;
 
 pub use class_engine::ClassStats;

@@ -252,8 +252,8 @@ mod tests {
             partition: 0,
             group,
             k: 2,
-            bytes: vec![1, 2, 3],
-            dest: IdSet::empty(8),
+            bytes: vec![1, 2, 3].into(),
+            dest: IdSet::empty(8).into(),
             dline: 64,
         }
     }

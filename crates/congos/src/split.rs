@@ -46,6 +46,21 @@ pub fn split(rng: &mut SmallRng, data: &[u8], k: usize) -> Vec<Vec<u8>> {
     fragments
 }
 
+/// [`split`], interned: each fragment's bytes go straight into `store` so
+/// every downstream copy (gossip batches, proxy buffers, GD partials)
+/// shares one allocation per fragment.
+pub fn split_interned(
+    rng: &mut SmallRng,
+    data: &[u8],
+    k: usize,
+    store: &crate::fragstore::FragStore,
+) -> Vec<crate::fragstore::FragBytes> {
+    split(rng, data, k)
+        .into_iter()
+        .map(|f| store.intern_bytes(&f))
+        .collect()
+}
+
 /// Reassembles a rumor from all of its fragments (XOR of the set).
 ///
 /// Returns `None` if `fragments` is empty or the fragments disagree in

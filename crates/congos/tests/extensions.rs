@@ -4,7 +4,7 @@
 use congos::{CongosConfig, CongosNode, ConfidentialityAuditor, CoverTrafficConfig};
 use congos_adversary::{CrriAdversary, NoFailures, NoInjections, OneShot, RumorSpec};
 use congos_gossip::GossipWire;
-use congos_sim::{Engine, EngineConfig, Envelope, Observer, ProcessId, Round};
+use congos_sim::{Engine, EngineConfig, EnvelopeRef, Observer, ProcessId, Round};
 
 fn engine_with(cfg: CongosConfig, n: usize, seed: u64) -> Engine<CongosNode> {
     Engine::with_factory(EngineConfig::new(n).seed(seed), move |id, n, _s| {
@@ -17,7 +17,7 @@ fn engine_with(cfg: CongosConfig, n: usize, seed: u64) -> Engine<CongosNode> {
 struct SingletonCheck;
 
 impl Observer<CongosNode> for SingletonCheck {
-    fn on_deliver(&mut self, env: &Envelope<congos::CongosMsg>) {
+    fn on_deliver(&mut self, env: EnvelopeRef<'_, congos::CongosMsg>) {
         let check = |frags: &[congos::Fragment]| {
             for f in frags {
                 assert_eq!(
@@ -27,7 +27,7 @@ impl Observer<CongosNode> for SingletonCheck {
                 );
             }
         };
-        match &env.payload {
+        match env.payload {
             congos::CongosMsg::Gossip { wire, .. } => {
                 if let GossipWire::Push(rumors) = wire.as_ref() {
                     for r in rumors.iter() {

@@ -1,0 +1,123 @@
+//! Property tests for the hash-consed fragment store: interning is
+//! idempotent, released allocations die, and distinct contents never alias
+//! — in particular fragments of distinct splits stay distinct allocations.
+
+use congos::split::{merge, split_interned};
+use congos::{DestRef, FragBytes, FragStore};
+use congos_sim::{IdSet, ProcessId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interning the same content any number of times yields one allocation
+    /// and content-equal handles.
+    #[test]
+    fn intern_is_idempotent(
+        blobs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..20),
+        repeats in 2usize..5,
+    ) {
+        let store = FragStore::new();
+        let mut keep = Vec::new();
+        for blob in &blobs {
+            let first = store.intern_bytes(blob);
+            for _ in 0..repeats {
+                let again = store.intern_bytes(blob);
+                prop_assert!(FragBytes::ptr_eq(&first, &again));
+                prop_assert_eq!(&*again, &blob[..]);
+            }
+            keep.push(first);
+        }
+        // Live allocations = distinct blobs, not total interns.
+        let distinct: std::collections::HashSet<&Vec<u8>> = blobs.iter().collect();
+        prop_assert_eq!(store.stats().live_bytes, distinct.len());
+    }
+
+    /// Dropping every handle releases the allocation: the store holds only
+    /// weak references and a gc'd store retains nothing.
+    #[test]
+    fn dropping_handles_releases_allocations(
+        blobs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..20),
+        members in prop::collection::vec(0usize..64, 0..16),
+    ) {
+        let store = FragStore::new();
+        let handles: Vec<FragBytes> =
+            blobs.iter().map(|b| store.intern_bytes(b)).collect();
+        let set = IdSet::from_iter(64, members.into_iter().map(ProcessId::new));
+        let dest = store.intern_dest(&set);
+        prop_assert!(store.stats().live_bytes > 0);
+        prop_assert_eq!(store.stats().live_dests, 1);
+
+        // A clone keeps its allocation alive through the drop of the rest.
+        let survivor = handles[0].clone();
+        let survivor_content = blobs[0].clone();
+        drop(handles);
+        drop(dest);
+        store.gc();
+        let stats = store.stats();
+        prop_assert_eq!(stats.live_bytes, 1);
+        prop_assert_eq!(stats.live_dests, 0);
+        prop_assert_eq!(&*survivor, &survivor_content[..]);
+
+        drop(survivor);
+        store.gc();
+        prop_assert_eq!(store.stats().live_bytes, 0);
+    }
+
+    /// Fragments of two distinct splits never alias each other unless the
+    /// bytes are genuinely identical, and interned splits still merge back
+    /// to their rumor.
+    #[test]
+    fn no_aliasing_across_distinct_splits(
+        data_a in prop::collection::vec(any::<u8>(), 1..48),
+        data_b in prop::collection::vec(any::<u8>(), 1..48),
+        k in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let store = FragStore::new();
+        let frags_a = split_interned(&mut SmallRng::seed_from_u64(seed), &data_a, k, &store);
+        let frags_b =
+            split_interned(&mut SmallRng::seed_from_u64(seed.wrapping_add(1)), &data_b, k, &store);
+
+        for fa in &frags_a {
+            for fb in &frags_b {
+                if *fa != *fb {
+                    prop_assert!(!FragBytes::ptr_eq(fa, fb));
+                }
+            }
+        }
+        let refs_a: Vec<&[u8]> = frags_a.iter().map(|f| &f[..]).collect();
+        let refs_b: Vec<&[u8]> = frags_b.iter().map(|f| &f[..]).collect();
+        prop_assert_eq!(merge(&refs_a), Some(data_a));
+        prop_assert_eq!(merge(&refs_b), Some(data_b));
+    }
+
+    /// Destination-set interning: content equality ⇔ shared allocation
+    /// within one store; distinct sets never alias.
+    #[test]
+    fn dest_interning_respects_content(
+        universe in 1usize..128,
+        picks in prop::collection::vec(0usize..4096, 0..24),
+    ) {
+        let store = FragStore::new();
+        let set = IdSet::from_iter(
+            universe,
+            picks.iter().map(|ix| ProcessId::new(ix % universe)),
+        );
+        let a = store.intern_dest(&set);
+        let b = store.intern_dest(&set.clone());
+        prop_assert!(DestRef::ptr_eq(&a, &b));
+        prop_assert_eq!(a.len(), set.len());
+
+        // A set differing in one element must not alias.
+        let mut other = set.clone();
+        let probe = ProcessId::new(0);
+        if !other.remove(probe) {
+            other.insert(probe);
+        }
+        let c = store.intern_dest(&other);
+        prop_assert!(!DestRef::ptr_eq(&a, &c));
+    }
+}

@@ -2,6 +2,7 @@
 
 use congos_sim::{IdSet, ProcessId, Round};
 use std::fmt;
+use std::sync::Arc;
 
 /// Globally unique rumor identity: the injecting process, the injection
 /// round, and a round-local sequence number.
@@ -42,8 +43,20 @@ pub struct GossipRumor<T> {
     pub duration: u64,
     /// Absolute deadline round: injection round + duration.
     pub deadline: Round,
-    /// Destination set within this instance's membership.
-    pub dest: IdSet,
+    /// Destination set within this instance's membership. `Arc`-shared:
+    /// a rumor is cloned into the forwarding set of every process the
+    /// epidemic reaches, and at large `n` the per-copy destination bitmap
+    /// (`n` bits each) dominates the resident footprint — sharing one
+    /// allocation per rumor makes each copy a refcount bump.
+    pub dest: Arc<IdSet>,
+    /// Best-effort rumors are delivered when the epidemic reaches a
+    /// destination but carry **no** Quality-of-Delivery obligation: the
+    /// origin does not track acknowledgments and does not fire the
+    /// deadline fallback, and receivers do not acknowledge. Used for
+    /// metadata whose consumers need only eventual (not guaranteed)
+    /// delivery — per-member ack/fallback traffic for such rumors would
+    /// add an `n²`-per-iteration term the paper's bound does not have.
+    pub best_effort: bool,
 }
 
 impl<T> GossipRumor<T> {
@@ -79,7 +92,8 @@ mod tests {
             payload: (),
             duration: 8,
             deadline: Round(10),
-            dest: IdSet::empty(4),
+            dest: Arc::new(IdSet::empty(4)),
+            best_effort: false,
         };
         assert!(r.active_at(Round(10)));
         assert!(!r.active_at(Round(11)));

@@ -164,6 +164,30 @@ impl<T: Clone> ContinuousGossip<T> {
     /// If the injector itself is in `dest`, the rumor is delivered locally
     /// immediately.
     pub fn inject(&mut self, now: Round, payload: T, duration: u64, dest: IdSet) -> RumorId {
+        self.inject_opts(now, payload, duration, dest, false)
+    }
+
+    /// Injects a best-effort rumor: epidemic forwarding and delivery as
+    /// usual, but no acknowledgment tracking and no deadline fallback —
+    /// see [`GossipRumor::best_effort`].
+    pub fn inject_best_effort(
+        &mut self,
+        now: Round,
+        payload: T,
+        duration: u64,
+        dest: IdSet,
+    ) -> RumorId {
+        self.inject_opts(now, payload, duration, dest, true)
+    }
+
+    fn inject_opts(
+        &mut self,
+        now: Round,
+        payload: T,
+        duration: u64,
+        dest: IdSet,
+        best_effort: bool,
+    ) -> RumorId {
         if now != self.last_inject_round {
             self.last_inject_round = now;
             self.next_seq = 0;
@@ -179,22 +203,25 @@ impl<T: Clone> ContinuousGossip<T> {
             payload,
             duration,
             deadline: now + duration,
-            dest,
+            dest: Arc::new(dest),
+            best_effort,
         };
         self.seen.insert(id, rumor.deadline);
         if rumor.dest.contains(self.me) {
             self.delivered.push(rumor.clone());
         }
-        let mut unacked = rumor.dest.clone();
-        unacked.intersect_with(&self.cfg.membership);
-        unacked.remove(self.me);
-        self.own.insert(
-            id,
-            OwnRumor {
-                rumor: rumor.clone(),
-                unacked,
-            },
-        );
+        if !best_effort {
+            let mut unacked = IdSet::clone(&rumor.dest);
+            unacked.intersect_with(&self.cfg.membership);
+            unacked.remove(self.me);
+            self.own.insert(
+                id,
+                OwnRumor {
+                    rumor: rumor.clone(),
+                    unacked,
+                },
+            );
+        }
         self.active.insert(id, rumor);
         id
     }
@@ -206,7 +233,13 @@ impl<T: Clone> ContinuousGossip<T> {
 
         // Drop expired rumors from the forwarding set.
         self.active.retain(|_, r| r.active_at(now));
-        if self.seen.len() > 4096 {
+        // Prune the dedup map once it outgrows a small bound. The retain
+        // predicate is the receive horizon (a rumor can arrive no later
+        // than its deadline-fallback round `dl + 1`, processed at
+        // `now = dl + 1 < dl + 2`), so pruning earlier or more often is
+        // behavior-neutral — it only caps the map near the live window
+        // instead of letting every instance hold thousands of dead ids.
+        if self.seen.len() > 256 {
             self.seen.retain(|_, dl| *dl + 2 >= now);
         }
 
@@ -305,7 +338,7 @@ impl<T: Clone> ContinuousGossip<T> {
                     self.seen.insert(rumor.id, rumor.deadline);
                     if rumor.dest.contains(self.me) {
                         self.delivered.push(rumor.clone());
-                        if rumor.id.origin != self.me {
+                        if rumor.id.origin != self.me && !rumor.best_effort {
                             self.pending_acks
                                 .entry(rumor.id.origin)
                                 .or_default()
@@ -399,7 +432,8 @@ mod tests {
             payload: 5u32,
             duration: 16,
             deadline: Round(16),
-            dest: IdSet::from_iter(4, [ProcessId::new(1)]),
+            dest: Arc::new(IdSet::from_iter(4, [ProcessId::new(1)])),
+            best_effort: false,
         };
         b.on_receive(Round(0), ProcessId::new(0), GossipWire::Push(Arc::new(vec![rumor.clone()])));
         b.on_receive(Round(0), ProcessId::new(2), GossipWire::Push(Arc::new(vec![rumor])));
@@ -434,7 +468,8 @@ mod tests {
             payload: 9u32,
             duration: 16,
             deadline: Round(16),
-            dest: IdSet::from_iter(4, [ProcessId::new(0)]),
+            dest: Arc::new(IdSet::from_iter(4, [ProcessId::new(0)])),
+            best_effort: false,
         };
         g.on_receive(Round(0), ProcessId::new(2), GossipWire::Push(Arc::new(vec![rumor])));
         assert!(g.take_delivered().is_empty());
@@ -503,7 +538,8 @@ mod tests {
                 payload: 0u32,
                 duration: 64,
                 deadline: Round(64),
-                dest: IdSet::empty(16),
+                dest: Arc::new(IdSet::empty(16)),
+                best_effort: false,
             };
             g.on_receive(Round(0), ProcessId::new(s), GossipWire::Push(Arc::new(vec![rumor])));
         }

@@ -8,7 +8,7 @@
 //! relays in the clear.
 
 use congos_adversary::RumorSpec;
-use congos_sim::{Context, Envelope, IdSet, ProcessId, Protocol, Tag};
+use congos_sim::{Context, IdSet, Inbox, ProcessId, Protocol, Tag};
 
 use crate::rumor::GossipRumor;
 use crate::service::{ContinuousGossip, GossipConfig, GossipWire};
@@ -118,7 +118,7 @@ impl Protocol for GossipNode {
     fn receive(
         &mut self,
         ctx: &mut Context<'_, Self>,
-        inbox: &[Envelope<Self::Msg>],
+        inbox: Inbox<'_, Self::Msg>,
         input: Option<Self::Input>,
     ) {
         let now = ctx.round();

@@ -38,4 +38,6 @@ fn main() {
         std::fs::write(&path, doc.to_string_pretty()).expect("write json");
         eprintln!("wrote {path}");
     }
+
+    congos_harness::mem::print_process_summary("exp_all");
 }

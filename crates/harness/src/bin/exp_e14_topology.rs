@@ -44,4 +44,6 @@ fn main() {
     } else {
         eprintln!("skipping {path}: parent directory missing (run from the repo root to emit it)");
     }
+
+    congos_harness::mem::print_process_summary("exp_e14_topology");
 }

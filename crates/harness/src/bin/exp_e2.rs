@@ -16,4 +16,6 @@ fn main() {
             table.print();
         }
     }
+
+    congos_harness::mem::print_process_summary("exp_e2");
 }

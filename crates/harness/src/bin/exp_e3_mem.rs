@@ -1,0 +1,64 @@
+//! Regenerates the E3 memory-accounting sweep (see EXPERIMENTS.md): peak
+//! RSS, heap allocation and wall clock vs `n` in the pipeline regime.
+//!
+//! Flags: `--full` for the n ∈ {1024, 2048, 4096, 8192} sweep (the quick
+//! CI sweep stops at 1024), `--csv` for machine-readable output,
+//! `--backend <seq|par[:N]|auto>` for the execution backend, `--json
+//! <path>` to override where the `BENCH_memory.json` row set is written
+//! (default `crates/bench/BENCH_memory.json`, skipped if the directory is
+//! absent), and `--budget-mib <x>` to enforce a hard peak-RSS ceiling —
+//! the process exits non-zero if its high-water mark exceeds the budget
+//! (the `scripts/ci.sh mem` regression gate).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    congos_harness::init_backend_from_args(&args);
+    congos_harness::init_topology_from_args(&args);
+    let full = args.iter().any(|a| a == "--full");
+    let csv = args.iter().any(|a| a == "--csv");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let json_path = flag_value("--json");
+    let budget_mib: Option<f64> = flag_value("--budget-mib").map(|v| {
+        v.parse()
+            .unwrap_or_else(|e| panic!("--budget-mib needs a number: {e}"))
+    });
+
+    let tables = congos_harness::experiments::e3_memory::run(full);
+    for table in &tables {
+        if csv {
+            println!("# {}", table.title());
+            print!("{}", table.to_csv());
+        } else {
+            table.print();
+        }
+    }
+
+    let doc = congos_harness::experiments::e3_memory::bench_json(&tables);
+    let path = json_path.unwrap_or_else(|| "crates/bench/BENCH_memory.json".to_string());
+    let parent_exists = std::path::Path::new(&path)
+        .parent()
+        .map(|p| p.as_os_str().is_empty() || p.is_dir())
+        .unwrap_or(true);
+    if parent_exists {
+        match std::fs::write(&path, doc.to_string_pretty() + "\n") {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    } else {
+        eprintln!("skipping {path}: parent directory missing (run from the repo root to emit it)");
+    }
+
+    congos_harness::mem::print_process_summary("exp_e3_mem");
+    if let Some(budget) = budget_mib {
+        let peak = congos_harness::mem::peak_rss_bytes() as f64 / (1024.0 * 1024.0);
+        if peak > budget {
+            eprintln!("FAIL: peak-RSS {peak:.1} MiB exceeds the {budget:.1} MiB budget");
+            std::process::exit(1);
+        }
+        eprintln!("peak-RSS {peak:.1} MiB within the {budget:.1} MiB budget");
+    }
+}

@@ -56,7 +56,7 @@ fn sweep(full: bool) -> Vec<TopologySpec> {
 fn run_one<P>(spec: RunSpec, rounds: u64, deadline: u64) -> Vec<String>
 where
     P: GossipSystem + Send,
-    P::Msg: Send,
+    P::Msg: Send + Sync,
     P::Input: From<congos_adversary::RumorSpec> + Send,
     P::Output: Send,
 {

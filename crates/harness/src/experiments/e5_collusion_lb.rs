@@ -18,7 +18,7 @@ use congos::{
 };
 use congos_adversary::{CrriAdversary, NoFailures, PoissonWorkload};
 use congos_gossip::GossipWire;
-use congos_sim::{Engine, EngineConfig, Envelope, IdSet, Observer, ProcessId, Round};
+use congos_sim::{Engine, EngineConfig, EnvelopeRef, IdSet, Observer, ProcessId, Round};
 
 use crate::table::Table;
 
@@ -94,8 +94,8 @@ impl BorderMeter {
 }
 
 impl Observer<CongosNode> for BorderMeter {
-    fn on_deliver(&mut self, env: &Envelope<CongosMsg>) {
-        match &env.payload {
+    fn on_deliver(&mut self, env: EnvelopeRef<'_, CongosMsg>) {
+        match env.payload {
             CongosMsg::Gossip { wire, .. } => {
                 if let GossipWire::Push(rumors) = wire.as_ref() {
                     for r in rumors.iter() {

@@ -7,6 +7,7 @@ pub mod e14_topology;
 pub mod e1_strong_confidentiality;
 pub mod e2_correctness;
 pub mod e3_complexity;
+pub mod e3_memory;
 pub mod e4_partitions;
 pub mod e5_collusion_lb;
 pub mod e6_collusion_cost;

@@ -30,17 +30,21 @@
 //! experiment on a sparser or churning network — unlike the backend, the
 //! topology *does* change measured outcomes.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: `mem` carries the one sanctioned exception — the
+// counting global allocator — under a scoped `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod json;
+pub mod mem;
 pub mod run;
 pub mod stats;
 pub mod system;
 pub mod table;
 
 pub use json::Json;
+pub use mem::{MemSample, MemUsage};
 pub use run::{
     default_backend, default_topology, init_backend_from_args, init_topology_from_args, run,
     run_with_factory, set_default_backend, set_default_topology, DeliveryRecord, Logged,

@@ -52,6 +52,11 @@ pub struct RunSpec {
     /// Communication topology (changes the measured outcome, unlike the
     /// backend: sparser topologies drop undeliverable links).
     pub topology: TopologySpec,
+    /// Whether to sample the memory probe (peak-RSS + allocator counters)
+    /// around the engine run. Cheap (two `/proc` reads and a handful of
+    /// atomic loads); on by default. When off, [`RunOutcome::mem`] is
+    /// zeroed.
+    pub probe_mem: bool,
 }
 
 impl RunSpec {
@@ -65,6 +70,7 @@ impl RunSpec {
             rounds,
             backend: default_backend(),
             topology: default_topology(),
+            probe_mem: true,
         }
     }
 
@@ -78,6 +84,12 @@ impl RunSpec {
     /// Selects the communication topology.
     pub fn topology(mut self, topology: TopologySpec) -> Self {
         self.topology = topology;
+        self
+    }
+
+    /// Enables or disables the memory probe (see [`RunSpec::probe_mem`]).
+    pub fn probe_mem(mut self, enabled: bool) -> Self {
+        self.probe_mem = enabled;
         self
     }
 }
@@ -244,6 +256,9 @@ pub struct RunOutcome {
     /// Delivery latencies (rounds from injection to first delivery) of the
     /// admissible pairs that were delivered.
     pub latencies: Vec<u64>,
+    /// Memory accounting around the engine run (zeroed when
+    /// [`RunSpec::probe_mem`] was off).
+    pub mem: crate::mem::MemUsage,
 }
 
 impl RunOutcome {
@@ -271,7 +286,7 @@ impl RunOutcome {
 pub fn run<P, F, W>(spec: RunSpec, failures: F, workload: W) -> RunOutcome
 where
     P: GossipSystem + Send,
-    P::Msg: Send,
+    P::Msg: Send + Sync,
     P::Input: From<RumorSpec> + Send,
     P::Output: Send,
     F: FailurePlan,
@@ -289,7 +304,7 @@ pub fn run_with_factory<P, F, W>(
 ) -> RunOutcome
 where
     P: GossipSystem + Send,
-    P::Msg: Send,
+    P::Msg: Send + Sync,
     P::Input: From<RumorSpec> + Send,
     P::Output: Send,
     F: FailurePlan,
@@ -302,7 +317,23 @@ where
         factory,
     );
     let mut adv = CrriAdversary::new(failures, workload);
+    let mem_before = if spec.probe_mem {
+        crate::mem::MemSample::now()
+    } else {
+        crate::mem::MemSample::default()
+    };
+    let t0 = std::time::Instant::now();
     engine.run_backend(spec.backend, spec.rounds, &mut adv);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mem = crate::mem::MemUsage {
+        before: mem_before,
+        after: if spec.probe_mem {
+            crate::mem::MemSample::now()
+        } else {
+            crate::mem::MemSample::default()
+        },
+        wall_ms,
+    };
 
     let deliveries: Vec<DeliveryRecord> = engine
         .outputs()
@@ -356,6 +387,7 @@ where
         qod,
         crashes: engine.liveness().crash_count(),
         latencies,
+        mem,
     }
 }
 

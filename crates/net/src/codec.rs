@@ -11,7 +11,7 @@ use std::io::{self, Read, Write};
 use std::sync::Arc;
 
 use congos::messages::GossipLane;
-use congos::{CongosMsg, CongosRumorId, Fragment, GossipPayload, Rumor};
+use congos::{CongosMsg, CongosRumorId, FragStore, Fragment, GossipPayload, Rumor};
 use congos_gossip::{GossipRumor, GossipWire, RumorId};
 use congos_sim::{IdSet, ProcessId, Round};
 
@@ -101,11 +101,15 @@ fn put_pid(buf: &mut Vec<u8>, p: ProcessId) {
     put_u32(buf, p.as_usize() as u32);
 }
 fn put_idset(buf: &mut Vec<u8>, s: &IdSet) {
+    // Universe followed by a packed membership bitmap (LSB-first within
+    // each byte) — `⌈universe/8⌉` bytes regardless of density, which
+    // `Fragment::wire_size` mirrors exactly.
     put_u32(buf, s.universe() as u32);
-    let ids: Vec<ProcessId> = s.iter().collect();
-    put_u32(buf, ids.len() as u32);
-    for p in ids {
-        put_pid(buf, p);
+    let start = buf.len();
+    buf.resize(start + s.universe().div_ceil(8), 0);
+    for p in s.iter() {
+        let i = p.as_usize();
+        buf[start + i / 8] |= 1 << (i % 8);
     }
 }
 fn put_crid(buf: &mut Vec<u8>, id: &CongosRumorId) {
@@ -186,6 +190,7 @@ fn put_gossip_rumor(buf: &mut Vec<u8>, r: &GossipRumor<Arc<GossipPayload>>) {
     put_u64(buf, r.duration);
     put_u64(buf, r.deadline.0);
     put_idset(buf, &r.dest);
+    buf.push(r.best_effort as u8);
 }
 fn put_wire(buf: &mut Vec<u8>, w: &GossipWire<Arc<GossipPayload>>) {
     match w {
@@ -333,15 +338,23 @@ fn take_pid(d: &mut Dec) -> io::Result<ProcessId> {
 }
 fn take_idset(d: &mut Dec) -> io::Result<IdSet> {
     let universe = d.u32()? as usize;
-    let count = d.count()?;
-    let mut ids = Vec::with_capacity(count);
-    for _ in 0..count {
-        ids.push(take_pid(d)?);
+    let packed = d.take(universe.div_ceil(8))?.to_vec();
+    let mut set = IdSet::empty(universe);
+    for (i, &byte) in packed.iter().enumerate() {
+        if byte == 0 {
+            continue;
+        }
+        for b in 0..8 {
+            if byte & (1 << b) != 0 {
+                let id = i * 8 + b;
+                if id >= universe {
+                    return Err(bad("idset bit outside universe"));
+                }
+                set.insert(ProcessId::new(id));
+            }
+        }
     }
-    if ids.iter().any(|p| p.as_usize() >= universe) {
-        return Err(bad("idset member outside universe"));
-    }
-    Ok(IdSet::from_iter(universe, ids))
+    Ok(set)
 }
 fn take_crid(d: &mut Dec) -> io::Result<CongosRumorId> {
     Ok(CongosRumorId {
@@ -358,14 +371,18 @@ fn take_rid(d: &mut Dec) -> io::Result<RumorId> {
     })
 }
 fn take_fragment(d: &mut Dec) -> io::Result<Fragment> {
+    // Decoded fragments re-enter the interner: fragments arriving from
+    // many peers (or repeatedly, via epidemic push) collapse to one
+    // allocation per distinct byte string / destination set.
+    let store = FragStore::global();
     Ok(Fragment {
         rid: take_crid(d)?,
         wid: d.u64()?,
         partition: d.u16()?,
         group: d.u8()?,
         k: d.u8()?,
-        bytes: d.bytes()?,
-        dest: take_idset(d)?,
+        bytes: store.intern_bytes(&d.bytes()?),
+        dest: store.intern_dest(&take_idset(d)?),
         dline: d.u64()?,
     })
 }
@@ -423,7 +440,8 @@ fn take_gossip_rumor(d: &mut Dec) -> io::Result<GossipRumor<Arc<GossipPayload>>>
         payload: Arc::new(take_payload(d)?),
         duration: d.u64()?,
         deadline: Round(d.u64()?),
-        dest: take_idset(d)?,
+        dest: Arc::new(take_idset(d)?),
+        best_effort: d.u8()? != 0,
     })
 }
 fn take_wire(d: &mut Dec) -> io::Result<GossipWire<Arc<GossipPayload>>> {
@@ -585,7 +603,8 @@ mod tests {
             }),
             duration: 8,
             deadline: Round(9),
-            dest: IdSet::from_iter(4, [ProcessId::new(1)]),
+            dest: Arc::new(IdSet::from_iter(4, [ProcessId::new(1)])),
+            best_effort: false,
         };
         let msg = CongosMsg::Gossip {
             lane: GossipLane::All { dline: 64 },
@@ -601,6 +620,82 @@ mod tests {
         encode_frame(&mut buf, &frame).unwrap();
         let back = decode_frame(&mut std::io::Cursor::new(buf)).unwrap();
         assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn fragment_wire_size_matches_encoder_exactly() {
+        // `Fragment::wire_size` (the basis of the communication metrics)
+        // must agree byte-for-byte with what the codec emits, for random
+        // fragments across payload lengths, universes and densities.
+        use congos::Fragment;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0xF7A6);
+        for trial in 0..200 {
+            let len = rng.gen_range(0..96);
+            let universe = rng.gen_range(1..200usize);
+            let members = rng.gen_range(0..=universe);
+            let dest = IdSet::from_iter(
+                universe,
+                (0..members).map(|_| ProcessId::new(rng.gen_range(0..universe))),
+            );
+            let f = Fragment {
+                rid: CongosRumorId {
+                    source: ProcessId::new(rng.gen_range(0..universe)),
+                    birth: Round(rng.gen_range(0..1000u64)),
+                    seq: rng.gen_range(0..4u32),
+                },
+                wid: rng.gen(),
+                partition: rng.gen_range(0..8u16),
+                group: rng.gen_range(0..6u8),
+                k: rng.gen_range(1..7u8),
+                bytes: (0..len).map(|_| rng.gen::<u8>()).collect::<Vec<u8>>().into(),
+                dest: dest.into(),
+                dline: 64,
+            };
+            let mut buf = Vec::new();
+            put_fragment(&mut buf, &f);
+            assert_eq!(
+                buf.len() as u64,
+                f.wire_size(),
+                "trial {trial}: encoder wrote {} bytes, wire_size says {}",
+                buf.len(),
+                f.wire_size()
+            );
+            // And the encoding round-trips through the interning decoder.
+            let mut d = Dec { buf: &buf, pos: 0 };
+            let back = take_fragment(&mut d).unwrap();
+            assert_eq!(d.pos, buf.len());
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn decoded_fragments_are_interned() {
+        use congos::{FragBytes, Fragment};
+        let f = Fragment {
+            rid: CongosRumorId {
+                source: ProcessId::new(1),
+                birth: Round(2),
+                seq: 0,
+            },
+            wid: 3,
+            partition: 0,
+            group: 1,
+            k: 2,
+            bytes: vec![0xAB; 32].into(),
+            dest: IdSet::from_iter(16, [ProcessId::new(4), ProcessId::new(9)]).into(),
+            dline: 64,
+        };
+        let mut buf = Vec::new();
+        put_fragment(&mut buf, &f);
+        let a = take_fragment(&mut Dec { buf: &buf, pos: 0 }).unwrap();
+        let b = take_fragment(&mut Dec { buf: &buf, pos: 0 }).unwrap();
+        assert!(
+            FragBytes::ptr_eq(&a.bytes, &b.bytes),
+            "two decodes of one fragment share the byte allocation"
+        );
+        assert!(congos::DestRef::ptr_eq(&a.dest, &b.dest));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::sync::Mutex;
 use congos::{tag_by_name, CongosConfig, CongosInput, CongosNode, DeliveredRumor};
 use congos_sim::rng::{fork_rng, fork_seed};
 use congos_sim::topology::{Topology, TopologySpec};
-use congos_sim::{Context, Envelope, OutputRecord, ProcessId, Protocol, Round, Tag};
+use congos_sim::{Context, Envelope, Inbox, OutputRecord, ProcessId, Protocol, Round, Tag};
 
 use crate::codec::{decode_frame, encode_frame, WireFrame};
 
@@ -412,7 +412,7 @@ fn node_rounds(
             &mut pending,
             &mut local_outputs,
         );
-        node.receive(&mut ctx, &inbox, input);
+        node.receive(&mut ctx, Inbox::from_slice(&inbox), input);
     }
 
     outputs.lock().expect("outputs lock").extend(local_outputs);

@@ -41,7 +41,7 @@ use rand::rngs::SmallRng;
 
 use crate::clock::Round;
 use crate::liveness::LivenessLog;
-use crate::message::{Envelope, Tag};
+use crate::message::{EnvelopeRef, Inbox, OutboxColumns, SendColumns, Tag};
 use crate::metrics::Metrics;
 use crate::process::{ProcessId, ProcessState};
 use crate::rng::fork_rng;
@@ -74,10 +74,13 @@ pub trait Protocol: Sized {
 
     /// Compute phase: process the messages received this round and any
     /// injected input. Messages queued here are sent next round.
+    ///
+    /// The inbox is a borrowed view into the round's shared outbox columns —
+    /// payloads a protocol wants to keep must be cloned out.
     fn receive(
         &mut self,
         ctx: &mut Context<'_, Self>,
-        inbox: &[Envelope<Self::Msg>],
+        inbox: Inbox<'_, Self::Msg>,
         input: Option<Self::Input>,
     );
 
@@ -343,8 +346,9 @@ impl<P: Protocol> Adversary<P> for NullAdversary {
 ///
 /// All methods default to no-ops.
 pub trait Observer<P: Protocol> {
-    /// A message was delivered (post adversary filtering).
-    fn on_deliver(&mut self, _env: &Envelope<P::Msg>) {}
+    /// A message was delivered (post adversary filtering). The envelope is
+    /// a borrowed view into the round's outbox columns.
+    fn on_deliver(&mut self, _env: EnvelopeRef<'_, P::Msg>) {}
     /// An input was injected at an alive process.
     fn on_inject(&mut self, _round: Round, _process: ProcessId, _input: &P::Input) {}
     /// An output was produced.
@@ -453,9 +457,20 @@ pub enum EngineBackend {
         /// the sequential schedule executed on one spawned worker.
         workers: usize,
     },
+    /// Adaptive selection: `Parallel` with the machine's parallelism when
+    /// the per-round work (one send + one compute slot per process) clears
+    /// [`EngineBackend::AUTO_WORK_THRESHOLD`] and the host has more than one
+    /// core; `Sequential` otherwise. Below that threshold the per-round
+    /// thread-spawn barrier costs more than it saves
+    /// (`BENCH_backend_scaling.json`: `par:8` is ~1.3× *slower* than `seq`
+    /// at n = 1024 on a single-core host).
+    Auto,
 }
 
 impl EngineBackend {
+    /// Minimum per-round work (process slots) for `Auto` to go parallel.
+    pub const AUTO_WORK_THRESHOLD: usize = 2048;
+
     /// A parallel backend sized to the machine
     /// (`std::thread::available_parallelism`, min 1).
     pub fn parallel_auto() -> Self {
@@ -466,11 +481,33 @@ impl EngineBackend {
         }
     }
 
-    /// Worker count: 1 for `Sequential`, `workers` for `Parallel`.
+    /// Resolves `Auto` against the per-round work of an `n`-process system;
+    /// `Sequential` and `Parallel` resolve to themselves. The result is
+    /// never `Auto`.
+    pub fn resolve(self, n: usize) -> EngineBackend {
+        match self {
+            EngineBackend::Auto => {
+                let cores = std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1);
+                if cores > 1 && n >= Self::AUTO_WORK_THRESHOLD {
+                    EngineBackend::Parallel { workers: cores }
+                } else {
+                    EngineBackend::Sequential
+                }
+            }
+            b => b,
+        }
+    }
+
+    /// Worker count: 1 for `Sequential`, `workers` for `Parallel`; for
+    /// `Auto`, the count of the backend it would resolve to on an
+    /// arbitrarily large system.
     pub fn workers(&self) -> usize {
         match self {
             EngineBackend::Sequential => 1,
             EngineBackend::Parallel { workers } => *workers,
+            EngineBackend::Auto => EngineBackend::Auto.resolve(usize::MAX).workers(),
         }
     }
 }
@@ -480,6 +517,7 @@ impl std::fmt::Display for EngineBackend {
         match self {
             EngineBackend::Sequential => write!(f, "seq"),
             EngineBackend::Parallel { workers } => write!(f, "par:{workers}"),
+            EngineBackend::Auto => write!(f, "auto"),
         }
     }
 }
@@ -487,8 +525,9 @@ impl std::fmt::Display for EngineBackend {
 impl std::str::FromStr for EngineBackend {
     type Err = String;
 
-    /// Parses `seq` / `sequential`, or `par` / `parallel` with an optional
-    /// `:<workers>` suffix (defaulting to the machine's parallelism).
+    /// Parses `seq` / `sequential`, `auto`, or `par` / `parallel` with an
+    /// optional `:<workers>` suffix (defaulting to the machine's
+    /// parallelism).
     fn from_str(s: &str) -> Result<Self, String> {
         let (kind, workers) = match s.split_once(':') {
             Some((k, w)) => (k, Some(w)),
@@ -498,6 +537,10 @@ impl std::str::FromStr for EngineBackend {
             "seq" | "sequential" => match workers {
                 None => Ok(EngineBackend::Sequential),
                 Some(_) => Err(format!("sequential backend takes no worker count: {s:?}")),
+            },
+            "auto" => match workers {
+                None => Ok(EngineBackend::Auto),
+                Some(_) => Err(format!("auto backend takes no worker count: {s:?}")),
             },
             "par" | "parallel" => {
                 let workers = match workers {
@@ -510,7 +553,9 @@ impl std::str::FromStr for EngineBackend {
                 };
                 Ok(EngineBackend::Parallel { workers })
             }
-            _ => Err(format!("unknown backend {s:?} (expected seq or par[:N])")),
+            _ => Err(format!(
+                "unknown backend {s:?} (expected seq, auto, or par[:N])"
+            )),
         }
     }
 }
@@ -527,8 +572,9 @@ struct Slot<P: Protocol> {
 /// in process-id order at the phase barrier. Kept across rounds so the
 /// steady-state round allocates nothing.
 struct SlotBuf<P: Protocol> {
-    /// Envelopes queued in the send phase.
-    envelopes: Vec<Envelope<P::Msg>>,
+    /// Messages queued in the send phase, in columnar (dst/tag/payload)
+    /// layout — the sender id is implied by the slot.
+    out: SendColumns<P::Msg>,
     /// `(tag, wire size)` of each send, in send order — replayed into
     /// [`Metrics`] at the merge so sharded counting is exact.
     sends: Vec<(Tag, u64)>,
@@ -539,7 +585,7 @@ struct SlotBuf<P: Protocol> {
 impl<P: Protocol> Default for SlotBuf<P> {
     fn default() -> Self {
         SlotBuf {
-            envelopes: Vec::new(),
+            out: SendColumns::default(),
             sends: Vec::new(),
             outputs: Vec::new(),
         }
@@ -573,13 +619,7 @@ fn run_send_slot<P: Protocol>(
     }
     for (dst, payload, tag) in slot.pending.drain(..) {
         buf.sends.push((tag, P::msg_size(&payload)));
-        buf.envelopes.push(Envelope {
-            src: id,
-            dst,
-            round,
-            tag,
-            payload,
-        });
+        buf.out.push(dst, tag, payload);
     }
 }
 
@@ -589,7 +629,7 @@ fn run_compute_slot<P: Protocol>(
     n: usize,
     round: Round,
     slot: &mut Slot<P>,
-    inbox: &[Envelope<P::Msg>],
+    inbox: Inbox<'_, P::Msg>,
     input: &mut Option<P::Input>,
     buf: &mut SlotBuf<P>,
 ) {
@@ -621,10 +661,14 @@ pub struct Engine<P: Protocol + 'static> {
     injections: Vec<InjectionRecord>,
     /// Per-process round buffers (reused across rounds).
     arena: Vec<SlotBuf<P>>,
-    /// This round's merged outbox (reused across rounds).
-    outbox: Vec<Envelope<P::Msg>>,
-    /// Per-process inboxes (reused across rounds).
-    inboxes: Vec<Vec<Envelope<P::Msg>>>,
+    /// This round's merged outbox in struct-of-arrays layout (reused across
+    /// rounds; cleared, not reallocated).
+    outbox: OutboxColumns<P::Msg>,
+    /// Per-process inboxes as index lists into `outbox` (reused across
+    /// rounds) — delivery routes indices instead of moving envelopes.
+    inbox_idx: Vec<Vec<u32>>,
+    /// The adversary's outbox-metadata view (reused across rounds).
+    meta: Vec<OutboxMeta>,
     /// This round's injected inputs (reused across rounds).
     inputs: Vec<Option<P::Input>>,
 }
@@ -673,8 +717,9 @@ impl<P: Protocol + 'static> Engine<P> {
             outputs: Vec::new(),
             injections: Vec::new(),
             arena: (0..cfg.n).map(|_| SlotBuf::default()).collect(),
-            outbox: Vec::new(),
-            inboxes: (0..cfg.n).map(|_| Vec::new()).collect(),
+            outbox: OutboxColumns::new(),
+            inbox_idx: (0..cfg.n).map(|_| Vec::new()).collect(),
+            meta: Vec::new(),
             inputs: Vec::new(),
         }
     }
@@ -775,16 +820,20 @@ impl<P: Protocol + 'static> Engine<P> {
         self.prepare_round(adversary, obs);
 
         // ---- Phase 4: compute. ----------------------------------------
-        for i in 0..n {
-            run_compute_slot(
-                i,
-                n,
-                round,
-                &mut self.slots[i],
-                &self.inboxes[i],
-                &mut self.inputs[i],
-                &mut self.arena[i],
-            );
+        {
+            let outbox = &self.outbox;
+            let inbox_idx = &self.inbox_idx;
+            for i in 0..n {
+                run_compute_slot(
+                    i,
+                    n,
+                    round,
+                    &mut self.slots[i],
+                    Inbox::columnar(outbox, &inbox_idx[i], round),
+                    &mut self.inputs[i],
+                    &mut self.arena[i],
+                );
+            }
         }
         self.merge_compute_outputs();
 
@@ -792,15 +841,19 @@ impl<P: Protocol + 'static> Engine<P> {
     }
 
     /// Merges the send-phase arena buffers in process-id order: metric
-    /// events into [`Metrics`], envelopes into the round outbox, outputs
-    /// into the global output log. This is the phase barrier that makes the
-    /// parallel backend's observable order equal the sequential order.
+    /// events into [`Metrics`], the per-process send columns onto the round
+    /// outbox (index ranges of the shared columns, no envelope moves),
+    /// outputs into the global output log. This is the phase barrier that
+    /// makes the parallel backend's observable order equal the sequential
+    /// order.
     fn merge_send_results(&mut self) {
-        for buf in &mut self.arena {
+        // Last round's payloads die here; the columns keep their capacity.
+        self.outbox.clear();
+        for (i, buf) in self.arena.iter_mut().enumerate() {
             for (tag, size) in buf.sends.drain(..) {
                 self.metrics.record_send(tag, size);
             }
-            self.outbox.append(&mut buf.envelopes);
+            self.outbox.append_from(ProcessId::new(i), &mut buf.out);
             self.outputs.append(&mut buf.outputs);
         }
     }
@@ -822,19 +875,15 @@ impl<P: Protocol + 'static> Engine<P> {
         // ---- Phase 2: adversary. --------------------------------------
         let alive_at_start: Vec<bool> =
             self.slots.iter().map(|s| s.state.is_alive()).collect();
-        let meta: Vec<OutboxMeta> = self
-            .outbox
-            .iter()
-            .map(|e| OutboxMeta {
-                src: e.src,
-                dst: e.dst,
-                tag: e.tag,
-            })
-            .collect();
+        self.meta.clear();
+        self.meta.extend((0..self.outbox.len()).map(|i| {
+            let (src, dst, tag) = self.outbox.meta(i);
+            OutboxMeta { src, dst, tag }
+        }));
         let view = RoundView {
             round,
             alive: &alive_at_start,
-            outbox: &meta,
+            outbox: &self.meta,
         };
         let decision = adversary.decide(&view);
 
@@ -876,19 +925,20 @@ impl<P: Protocol + 'static> Engine<P> {
         }
 
         // ---- Phase 3: delivery. ---------------------------------------
-        for inbox in &mut self.inboxes {
-            inbox.clear();
+        for idx in &mut self.inbox_idx {
+            idx.clear();
         }
         let filter_topology = !self.topology.is_complete();
-        for env in self.outbox.drain(..) {
-            let si = env.src.as_usize();
-            let di = env.dst.as_usize();
+        for i in 0..self.outbox.len() {
+            let (src, dst, _tag) = self.outbox.meta(i);
+            let si = src.as_usize();
+            let di = dst.as_usize();
             if let Some(policy) = &crash_policy[si] {
-                if !policy.allows(env.dst) {
+                if !policy.allows(dst) {
                     continue;
                 }
             }
-            if filter_topology && !self.topology.connected(round, env.src, env.dst) {
+            if filter_topology && !self.topology.connected(round, src, dst) {
                 self.metrics.record_topology_drop();
                 continue; // no link between src and dst this round
             }
@@ -896,12 +946,12 @@ impl<P: Protocol + 'static> Engine<P> {
                 continue; // crashed receivers receive nothing
             }
             if let Some(policy) = &restart_policy[di] {
-                if !policy.allows(env.src) {
+                if !policy.allows(src) {
                     continue;
                 }
             }
-            obs.on_deliver(&env);
-            self.inboxes[di].push(env);
+            obs.on_deliver(self.outbox.get(i, round));
+            self.inbox_idx[di].push(i as u32);
         }
 
         // ---- Injections (staged for the compute phase). ---------------
@@ -941,7 +991,7 @@ impl<P: Protocol + 'static> Engine<P> {
 impl<P> Engine<P>
 where
     P: Protocol + Send + 'static,
-    P::Msg: Send,
+    P::Msg: Send + Sync,
     P::Input: Send,
     P::Output: Send,
 {
@@ -955,11 +1005,12 @@ where
         adversary: &mut A,
         obs: &mut O,
     ) {
-        match backend {
+        match backend.resolve(self.cfg.n) {
             EngineBackend::Sequential => self.step_observed(adversary, obs),
             EngineBackend::Parallel { workers } => {
                 self.step_observed_parallel(workers, adversary, obs)
             }
+            EngineBackend::Auto => unreachable!("resolve() never returns Auto"),
         }
     }
 
@@ -1039,23 +1090,25 @@ where
         {
             let slots = &mut self.slots;
             let arena = &mut self.arena;
-            let inboxes = &mut self.inboxes;
+            let outbox = &self.outbox;
+            let inbox_idx = &self.inbox_idx;
             let inputs = &mut self.inputs;
             std::thread::scope(|s| {
-                for (ci, ((slot_chunk, buf_chunk), (inbox_chunk, input_chunk))) in slots
+                for (ci, ((slot_chunk, buf_chunk), (idx_chunk, input_chunk))) in slots
                     .chunks_mut(chunk)
                     .zip(arena.chunks_mut(chunk))
-                    .zip(inboxes.chunks_mut(chunk).zip(inputs.chunks_mut(chunk)))
+                    .zip(inbox_idx.chunks(chunk).zip(inputs.chunks_mut(chunk)))
                     .enumerate()
                 {
                     let base = ci * chunk;
                     s.spawn(move || {
-                        for (j, ((slot, buf), (inbox, input))) in slot_chunk
+                        for (j, ((slot, buf), (idx, input))) in slot_chunk
                             .iter_mut()
                             .zip(buf_chunk.iter_mut())
-                            .zip(inbox_chunk.iter_mut().zip(input_chunk.iter_mut()))
+                            .zip(idx_chunk.iter().zip(input_chunk.iter_mut()))
                             .enumerate()
                         {
+                            let inbox = Inbox::columnar(outbox, idx, round);
                             run_compute_slot(base + j, n, round, slot, inbox, input, buf);
                         }
                     });
@@ -1091,12 +1144,12 @@ mod tests {
         fn receive(
             &mut self,
             ctx: &mut Context<'_, Self>,
-            inbox: &[Envelope<u64>],
+            inbox: Inbox<'_, u64>,
             input: Option<u64>,
         ) {
             for env in inbox {
                 let src = env.src;
-                let payload = env.payload;
+                let payload = *env.payload;
                 ctx.output((src, payload));
             }
             if let Some(v) = input {
@@ -1318,6 +1371,26 @@ mod tests {
         assert_eq!(EngineBackend::default(), EngineBackend::Sequential);
         assert_eq!(EngineBackend::Sequential.workers(), 1);
         assert_eq!(EngineBackend::Parallel { workers: 3 }.workers(), 3);
+        assert_eq!(EngineBackend::from_str("auto").unwrap(), EngineBackend::Auto);
+        assert!(EngineBackend::from_str("auto:2").is_err());
+        assert_eq!(EngineBackend::Auto.to_string(), "auto");
+        // Below the work threshold Auto always degrades to sequential.
+        assert_eq!(EngineBackend::Auto.resolve(8), EngineBackend::Sequential);
+        // At/above the threshold it picks parallel iff this host has >1 core.
+        let big = EngineBackend::Auto.resolve(EngineBackend::AUTO_WORK_THRESHOLD);
+        match std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1) {
+            1 => assert_eq!(big, EngineBackend::Sequential),
+            cores => assert_eq!(big, EngineBackend::Parallel { workers: cores }),
+        }
+        // Non-auto backends resolve to themselves.
+        assert_eq!(
+            EngineBackend::Sequential.resolve(1 << 20),
+            EngineBackend::Sequential
+        );
+        assert_eq!(
+            EngineBackend::Parallel { workers: 2 }.resolve(1),
+            EngineBackend::Parallel { workers: 2 }
+        );
     }
 
     /// Observer that fingerprints the full ordered event stream, for
@@ -1327,7 +1400,7 @@ mod tests {
         events: Vec<String>,
     }
     impl Observer<Ring> for EventLog {
-        fn on_deliver(&mut self, env: &Envelope<u64>) {
+        fn on_deliver(&mut self, env: EnvelopeRef<'_, u64>) {
             self.events
                 .push(format!("d {} {} {} {}", env.src, env.dst, env.round, env.payload));
         }
@@ -1448,7 +1521,7 @@ mod tests {
             RandOnce { emitted: false }
         }
         fn send(&mut self, _ctx: &mut Context<'_, Self>) {}
-        fn receive(&mut self, ctx: &mut Context<'_, Self>, _i: &[Envelope<()>], _in: Option<()>) {
+        fn receive(&mut self, ctx: &mut Context<'_, Self>, _i: Inbox<'_, ()>, _in: Option<()>) {
             if !self.emitted {
                 self.emitted = true;
                 let v = rand::Rng::gen::<u64>(ctx.rng());
@@ -1514,7 +1587,7 @@ mod policy_tests {
                 ctx.send(ProcessId::new(2), (), Tag("fan"));
             }
         }
-        fn receive(&mut self, ctx: &mut Context<'_, Self>, inbox: &[Envelope<()>], _i: Option<()>) {
+        fn receive(&mut self, ctx: &mut Context<'_, Self>, inbox: Inbox<'_, ()>, _i: Option<()>) {
             for _ in inbox {
                 ctx.output(ctx.id());
             }

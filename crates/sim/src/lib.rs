@@ -23,7 +23,7 @@
 //! probabilistic claim of the paper can be reproduced exactly.
 //!
 //! ```
-//! use congos_sim::{Engine, EngineConfig, Protocol, Context, Envelope, Tag,
+//! use congos_sim::{Engine, EngineConfig, Protocol, Context, Inbox, Tag,
 //!                  NullAdversary, ProcessId};
 //!
 //! /// A toy protocol: process 0 floods a token once; everyone else reports it.
@@ -45,7 +45,7 @@
 //!         }
 //!     }
 //!     fn receive(&mut self, ctx: &mut Context<'_, Self>,
-//!                inbox: &[Envelope<()>], _input: Option<()>) {
+//!                inbox: Inbox<'_, ()>, _input: Option<()>) {
 //!         if !inbox.is_empty() && !self.has_token {
 //!             self.has_token = true;
 //!             ctx.output(());
@@ -81,7 +81,7 @@ pub use engine::{
 };
 pub use idset::IdSet;
 pub use liveness::{LivenessEvent, LivenessLog};
-pub use message::{Envelope, Tag};
+pub use message::{Envelope, EnvelopeRef, Inbox, OutboxColumns, Tag};
 pub use metrics::{Metrics, RoundCounts};
 pub use process::{ProcessId, ProcessState};
 pub use topology::{Topology, TopologySpec};

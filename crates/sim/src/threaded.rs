@@ -15,7 +15,7 @@
 //!
 //! ```
 //! use congos_sim::threaded::{run_threaded, ThreadedConfig};
-//! use congos_sim::{Context, Envelope, Protocol, ProcessId, Tag};
+//! use congos_sim::{Context, Inbox, Protocol, ProcessId, Tag};
 //!
 //! struct Echo;
 //! impl Protocol for Echo {
@@ -29,8 +29,8 @@
 //!         }
 //!     }
 //!     fn receive(&mut self, ctx: &mut Context<'_, Self>,
-//!                inbox: &[Envelope<u32>], _i: Option<()>) {
-//!         for e in inbox { let v = e.payload; ctx.output(v); }
+//!                inbox: Inbox<'_, u32>, _i: Option<()>) {
+//!         for e in inbox { let v = *e.payload; ctx.output(v); }
 //!     }
 //! }
 //!
@@ -113,7 +113,7 @@ pub struct ThreadedReport<O> {
 pub fn run_threaded<P>(cfg: ThreadedConfig) -> ThreadedReport<P::Output>
 where
     P: Protocol + Send + 'static,
-    P::Msg: Send,
+    P::Msg: Send + Sync,
     P::Input: Send,
     P::Output: Send,
 {
@@ -134,7 +134,7 @@ pub fn run_threaded_with<P>(
 ) -> ThreadedReport<P::Output>
 where
     P: Protocol + Send + 'static,
-    P::Msg: Send,
+    P::Msg: Send + Sync,
     P::Input: Send,
     P::Output: Send,
 {
@@ -181,7 +181,7 @@ impl<I, P: Protocol<Input = I>> Adversary<P> for ScheduleReplay<I> {
 mod tests {
     use super::*;
     use crate::engine::Context;
-    use crate::message::{Envelope, Tag};
+    use crate::message::{Inbox, Tag};
 
     /// All-to-all flood each round.
     struct Blast;
@@ -197,7 +197,7 @@ mod tests {
                 ctx.send(p, 1, Tag("blast"));
             }
         }
-        fn receive(&mut self, ctx: &mut Context<'_, Self>, inbox: &[Envelope<u8>], _i: Option<()>) {
+        fn receive(&mut self, ctx: &mut Context<'_, Self>, inbox: Inbox<'_, u8>, _i: Option<()>) {
             if inbox.len() == ctx.n() {
                 ctx.output(1);
             }
@@ -237,7 +237,7 @@ mod tests {
             Sink
         }
         fn send(&mut self, _ctx: &mut Context<'_, Self>) {}
-        fn receive(&mut self, ctx: &mut Context<'_, Self>, _i: &[Envelope<()>], input: Option<u32>) {
+        fn receive(&mut self, ctx: &mut Context<'_, Self>, _i: Inbox<'_, ()>, input: Option<u32>) {
             if let Some(v) = input {
                 ctx.output(v);
             }

@@ -7,7 +7,7 @@
 //!
 //! ```
 //! use congos_sim::trace::Tracer;
-//! use congos_sim::{Engine, EngineConfig, NullAdversary, Context, Envelope,
+//! use congos_sim::{Engine, EngineConfig, NullAdversary, Context, Inbox,
 //!                  Protocol, ProcessId, Tag};
 //!
 //! struct Ping;
@@ -21,7 +21,7 @@
 //!         ctx.send(next, (), Tag("ping"));
 //!     }
 //!     fn receive(&mut self, _ctx: &mut Context<'_, Self>,
-//!                _inbox: &[Envelope<()>], _input: Option<()>) {}
+//!                _inbox: Inbox<'_, ()>, _input: Option<()>) {}
 //! }
 //!
 //! let mut engine = Engine::<Ping>::new(EngineConfig::new(3));
@@ -37,7 +37,7 @@ use std::fmt::Write as _;
 
 use crate::clock::Round;
 use crate::engine::{Observer, OutputRecord, Protocol};
-use crate::message::{Envelope, Tag};
+use crate::message::{EnvelopeRef, Tag};
 use crate::process::ProcessId;
 
 /// One traced event.
@@ -182,7 +182,7 @@ impl Tracer {
 }
 
 impl<P: Protocol> Observer<P> for Tracer {
-    fn on_deliver(&mut self, env: &Envelope<P::Msg>) {
+    fn on_deliver(&mut self, env: EnvelopeRef<'_, P::Msg>) {
         if !self.tag_filter.is_empty() && !self.tag_filter.contains(&env.tag.name()) {
             return;
         }
@@ -234,7 +234,7 @@ mod tests {
         fn receive(
             &mut self,
             _ctx: &mut Context<'_, Self>,
-            _inbox: &[Envelope<()>],
+            _inbox: crate::message::Inbox<'_, ()>,
             _input: Option<()>,
         ) {
         }

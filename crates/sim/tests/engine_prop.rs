@@ -3,8 +3,8 @@
 //! invariants the paper's analysis relies on.
 
 use congos_sim::{
-    Adversary, Context, CrashSpec, Engine, EngineConfig, Envelope, IncomingPolicy, Observer,
-    ProcessId, Protocol, RoundDecision, RoundView, SentPolicy, Tag,
+    Adversary, Context, CrashSpec, Engine, EngineConfig, EnvelopeRef, Inbox, IncomingPolicy,
+    Observer, ProcessId, Protocol, RoundDecision, RoundView, SentPolicy, Tag,
 };
 use proptest::prelude::*;
 
@@ -29,12 +29,12 @@ impl Protocol for Chatty {
     fn receive(
         &mut self,
         ctx: &mut Context<'_, Self>,
-        inbox: &[Envelope<u64>],
+        inbox: Inbox<'_, u64>,
         input: Option<u64>,
     ) {
         for env in inbox {
             let src = env.src;
-            let val = env.payload;
+            let val = *env.payload;
             ctx.output((val, src));
         }
         if let Some(v) = input {
@@ -117,9 +117,9 @@ struct Invariants {
 }
 
 impl Observer<Chatty> for Invariants {
-    fn on_deliver(&mut self, env: &Envelope<u64>) {
+    fn on_deliver(&mut self, env: EnvelopeRef<'_, u64>) {
         // Messages are delivered in the round they were sent (synchrony).
-        assert_eq!(env.payload, env.round.as_u64());
+        assert_eq!(*env.payload, env.round.as_u64());
         self.delivered += 1;
     }
 }

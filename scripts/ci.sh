@@ -2,11 +2,14 @@
 # Tier-1 CI for the confidential-gossip workspace.
 #
 #   scripts/ci.sh            # tier1: build + root tests + differential suite
-#                            #        on both engine backends + topo target
+#                            #        on both engine backends + topo + mem
 #   scripts/ci.sh topo       # topology target only: topology-differential
 #                            #        suite, topology proptests, and the
 #                            #        exp_e14_topology quick smoke (writes
 #                            #        crates/bench/BENCH_topology.json)
+#   scripts/ci.sh mem        # memory target only: fragstore proptests and
+#                            #        the exp_e3_mem small-n smoke sweep
+#                            #        under a hard peak-RSS budget
 #   scripts/ci.sh bench      # tier1 + the backend-scaling smoke bench
 #                            #        (results land in BENCH_*.json)
 #   scripts/ci.sh full       # tier1 + bench + the full workspace test suite
@@ -30,9 +33,28 @@ run_topo() {
     echo "    wrote crates/bench/BENCH_topology.json"
 }
 
+run_mem() {
+    echo "==> mem: fragment-store proptests"
+    cargo test -q -p congos --test fragstore_prop
+    echo "==> mem: exp_e3_mem smoke sweep under a hard peak-RSS budget"
+    # The quick sweep (n ≤ 1024) peaks around 450 MiB; the 1024 MiB budget
+    # is a 2× regression gate, not a tight fit. The smoke row set goes to a
+    # scratch path so it cannot clobber the committed full-sweep
+    # crates/bench/BENCH_memory.json (regenerate that with
+    # `exp_e3_mem --full`).
+    cargo run --release -q -p congos-harness --bin exp_e3_mem -- \
+        --json target/BENCH_memory_smoke.json --budget-mib 1024 >/dev/null
+}
+
 if [ "$target" = "topo" ]; then
     run_topo
     echo "==> ci: OK (topo)"
+    exit 0
+fi
+
+if [ "$target" = "mem" ]; then
+    run_mem
+    echo "==> ci: OK (mem)"
     exit 0
 fi
 
@@ -49,6 +71,7 @@ echo "==> tier1: differential suite, parallel default backend"
 CONGOS_BACKEND=par:8 cargo test -q --test differential
 
 run_topo
+run_mem
 
 if [ "$target" = "bench" ] || [ "$target" = "full" ]; then
     echo "==> bench: backend_scaling smoke (e3_congos_poisson at n=1024)"

@@ -15,7 +15,7 @@ use congos_adversary::{CrriAdversary, FailurePlan, PoissonWorkload};
 use congos_sim::engine::{Observer, OutputRecord};
 use congos_sim::trace::Tracer;
 use congos_sim::{
-    Engine, EngineBackend, EngineConfig, Envelope, ProcessId, Round, TopologySpec,
+    Engine, EngineBackend, EngineConfig, EnvelopeRef, ProcessId, Round, TopologySpec,
 };
 
 /// Universe size used by every fingerprint run (matches the seed suite).
@@ -72,7 +72,7 @@ struct AuditAndTrace<'a> {
 }
 
 impl Observer<CongosNode> for AuditAndTrace<'_> {
-    fn on_deliver(&mut self, env: &Envelope<CongosMsg>) {
+    fn on_deliver(&mut self, env: EnvelopeRef<'_, CongosMsg>) {
         self.audit.on_deliver(env);
         Observer::<CongosNode>::on_deliver(self.tracer, env);
     }
