@@ -38,6 +38,7 @@
 pub mod experiments;
 pub mod json;
 pub mod mem;
+pub mod netrun;
 pub mod run;
 pub mod stats;
 pub mod system;
@@ -45,10 +46,12 @@ pub mod table;
 
 pub use json::Json;
 pub use mem::{MemSample, MemUsage};
+pub use netrun::{assert_failure_free, materialize_injections, NetRunReport, NetStats};
 pub use run::{
-    default_backend, default_topology, init_backend_from_args, init_topology_from_args, run,
-    run_with_factory, set_default_backend, set_default_topology, DeliveryRecord, Logged,
-    QodSummary, RunOutcome, RunSpec,
+    default_backend, default_net, default_topology, init_backend_from_args,
+    init_topology_from_args, run, run_with_factory, set_default_backend, set_default_net,
+    set_default_topology, DeliveryRecord, Logged, QodSummary, RunOutcome, RunSpec,
+    DEFAULT_NET_PORT,
 };
 pub use stats::{fit_power_law, percentile};
 pub use system::GossipSystem;

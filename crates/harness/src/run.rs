@@ -57,6 +57,12 @@ pub struct RunSpec {
     /// atomic loads); on by default. When off, [`RunOutcome::mem`] is
     /// zeroed.
     pub probe_mem: bool,
+    /// When `Some(base_port)`, the run executes on the networked backend: a
+    /// localhost TCP cluster on ports `base_port..base_port+n` instead of
+    /// the in-process engine. Networked runs are failure-free and require
+    /// an oblivious workload (see [`crate::netrun`]); only protocols with a
+    /// wire codec support it ([`GossipSystem::net_run`]).
+    pub net: Option<u16>,
 }
 
 impl RunSpec {
@@ -71,6 +77,7 @@ impl RunSpec {
             backend: default_backend(),
             topology: default_topology(),
             probe_mem: true,
+            net: default_net(),
         }
     }
 
@@ -90,6 +97,13 @@ impl RunSpec {
     /// Enables or disables the memory probe (see [`RunSpec::probe_mem`]).
     pub fn probe_mem(mut self, enabled: bool) -> Self {
         self.probe_mem = enabled;
+        self
+    }
+
+    /// Selects the networked backend on ports `base_port..base_port+n`
+    /// (see [`RunSpec::net`]).
+    pub fn net(mut self, base_port: u16) -> Self {
+        self.net = Some(base_port);
         self
     }
 }
@@ -122,9 +136,15 @@ pub fn default_backend() -> EngineBackend {
     })
 }
 
-/// Applies a `--backend <seq|par[:N]>` CLI flag (if present) as the
-/// process-wide default backend and returns the active default. Intended
-/// for the `exp_*` binaries.
+/// Applies a `--backend <seq|par[:N]|net[:PORT]>` CLI flag (if present) as
+/// the process-wide default backend and returns the active default.
+/// Intended for the `exp_*` binaries.
+///
+/// `net` (optionally `net:<base_port>`, default port
+/// [`DEFAULT_NET_PORT`]) selects the networked backend: runs execute on a
+/// localhost TCP cluster instead of the in-process engine. The returned
+/// [`EngineBackend`] is unchanged in that case — the net default is
+/// consumed by [`RunSpec::new`] via [`default_net`].
 ///
 /// # Panics
 ///
@@ -133,11 +153,50 @@ pub fn init_backend_from_args(args: &[String]) -> EngineBackend {
     if let Some(i) = args.iter().position(|a| a == "--backend") {
         let value = args
             .get(i + 1)
-            .unwrap_or_else(|| panic!("--backend needs a value: seq or par[:N]"));
-        let backend: EngineBackend = value.parse().unwrap_or_else(|e| panic!("{e}"));
-        set_default_backend(backend);
+            .unwrap_or_else(|| panic!("--backend needs a value: seq, par[:N] or net[:PORT]"));
+        if value == "net" || value.starts_with("net:") {
+            let port = match value.strip_prefix("net:") {
+                Some(p) => p
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad port in --backend {value}")),
+                None => DEFAULT_NET_PORT,
+            };
+            set_default_net(port);
+        } else {
+            let backend: EngineBackend = value.parse().unwrap_or_else(|e| panic!("{e}"));
+            set_default_backend(backend);
+        }
     }
     default_backend()
+}
+
+/// Base port used by `--backend net` when no explicit port is given.
+pub const DEFAULT_NET_PORT: u16 = 20700;
+
+static DEFAULT_NET: std::sync::OnceLock<Option<u16>> = std::sync::OnceLock::new();
+
+/// Installs a process-wide default net base port: every subsequent
+/// [`RunSpec::new`] runs on the networked backend. First writer wins;
+/// returns `false` if the default had already been resolved.
+pub fn set_default_net(base_port: u16) -> bool {
+    DEFAULT_NET.set(Some(base_port)).is_ok()
+}
+
+/// The process-wide default net base port: whatever [`set_default_net`]
+/// installed, else the `CONGOS_NET_PORT` env var, else `None` (in-process
+/// engine — the default).
+pub fn default_net() -> Option<u16> {
+    *DEFAULT_NET.get_or_init(|| {
+        std::env::var("CONGOS_NET_PORT")
+            .ok()
+            .and_then(|s| match s.parse() {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    eprintln!("ignoring CONGOS_NET_PORT: {e}");
+                    None
+                }
+            })
+    })
 }
 
 static DEFAULT_TOPOLOGY: std::sync::OnceLock<TopologySpec> = std::sync::OnceLock::new();
@@ -259,6 +318,10 @@ pub struct RunOutcome {
     /// Memory accounting around the engine run (zeroed when
     /// [`RunSpec::probe_mem`] was off).
     pub mem: crate::mem::MemUsage,
+    /// Socket-level counters when the run executed on the networked
+    /// backend (`None` for in-process engine runs, whose per-round,
+    /// per-tag accounting lives in [`RunOutcome::metrics`] instead).
+    pub net: Option<crate::netrun::NetStats>,
 }
 
 impl RunOutcome {
@@ -310,6 +373,9 @@ where
     F: FailurePlan,
     W: InjectionPlan + Logged,
 {
+    if let Some(base_port) = spec.net {
+        return run_networked::<P, F, W>(spec, base_port, failures, workload);
+    }
     let mut engine = Engine::<P>::with_factory(
         EngineConfig::new(spec.n)
             .seed(spec.seed)
@@ -388,6 +454,115 @@ where
         crashes: engine.liveness().crash_count(),
         latencies,
         mem,
+        net: None,
+    }
+}
+
+/// The networked path of [`run_with_factory`]: materializes the workload
+/// into a static schedule (rejecting failure plans — the TCP cluster is
+/// failure-free), runs the protocol's TCP deployment, and rebuilds the
+/// same QoD accounting the engine path produces. The `factory` is not used
+/// here: a networked deployment constructs its own nodes from
+/// `(id, n, seed)` on the far side of the socket boundary.
+fn run_networked<P, F, W>(spec: RunSpec, base_port: u16, mut failures: F, mut workload: W) -> RunOutcome
+where
+    P: GossipSystem,
+    P::Input: From<RumorSpec>,
+    F: FailurePlan,
+    W: InjectionPlan + Logged,
+{
+    crate::netrun::assert_failure_free(spec.n, spec.rounds, &mut failures);
+    let schedule = crate::netrun::materialize_injections(spec.n, spec.rounds, &mut workload);
+
+    let mem_before = if spec.probe_mem {
+        crate::mem::MemSample::now()
+    } else {
+        crate::mem::MemSample::default()
+    };
+    let t0 = std::time::Instant::now();
+    let report = P::net_run(
+        spec.n,
+        spec.seed,
+        spec.rounds,
+        spec.topology,
+        base_port,
+        schedule,
+    )
+    .unwrap_or_else(|| {
+        panic!(
+            "protocol {:?} has no networked runtime; --backend net currently \
+             supports the CONGOS protocol only",
+            P::NAME
+        )
+    })
+    .unwrap_or_else(|e| panic!("networked run failed: {e}"));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mem = crate::mem::MemUsage {
+        before: mem_before,
+        after: if spec.probe_mem {
+            crate::mem::MemSample::now()
+        } else {
+            crate::mem::MemSample::default()
+        },
+        wall_ms,
+    };
+
+    let deliveries: Vec<DeliveryRecord> = report
+        .deliveries
+        .iter()
+        .map(|&(wid, process, round)| DeliveryRecord {
+            wid,
+            process,
+            round,
+        })
+        .collect();
+    let injections = workload.entries().to_vec();
+
+    // QoD over a failure-free cluster: every pair is admissible unless the
+    // topology never connects it within the deadline window (same
+    // reachability bound the engine path applies).
+    let topology = congos_sim::Topology::build(spec.topology, spec.n, spec.seed);
+    let mut qod = QodSummary::default();
+    let mut latencies = Vec::new();
+    for entry in &injections {
+        let t = entry.round;
+        let end = t + entry.spec.deadline;
+        for d in &entry.spec.dest {
+            if !topology.reachable_within(entry.source, *d, t, end) {
+                qod.unreachable += 1;
+                continue;
+            }
+            qod.admissible += 1;
+            let best = deliveries
+                .iter()
+                .filter(|r| r.wid == entry.spec.id && r.process == *d)
+                .map(|r| r.round)
+                .min();
+            match best {
+                Some(r) if r <= end => {
+                    qod.on_time += 1;
+                    latencies.push(r - t);
+                }
+                Some(_) => qod.late += 1,
+                None => qod.missed += 1,
+            }
+        }
+    }
+
+    RunOutcome {
+        name: P::NAME,
+        topology: spec.topology,
+        metrics: Metrics::new(),
+        deliveries,
+        injections,
+        qod,
+        crashes: 0,
+        latencies,
+        mem,
+        net: Some(crate::netrun::NetStats {
+            messages: report.messages,
+            topology_drops: report.topology_drops,
+        }),
     }
 }
 
@@ -407,6 +582,41 @@ mod tests {
         assert!(out.qod.admissible > 0);
         assert_eq!(out.crashes, 0);
         assert_eq!(out.name, "direct");
+    }
+
+    #[test]
+    fn networked_backend_runs_congos_with_qod() {
+        use congos::CongosNode;
+        let spec = RunSpec::new(4, 11, 80).net(20740);
+        let rumor = RumorSpec::new(
+            0,
+            b"over sockets".to_vec(),
+            64,
+            vec![ProcessId::new(1), ProcessId::new(3)],
+        );
+        let w = OneShot::new(Round(0), vec![(ProcessId::new(0), rumor)]);
+        let out = run::<CongosNode, _, _>(spec, NoFailures, w);
+        assert_eq!(out.qod.admissible, 2);
+        assert!(out.qod.perfect(), "failure-free TCP run must be on time: {:?}", out.qod);
+        assert_eq!(out.deliveries.len(), 2);
+        let net = out.net.expect("networked runs carry socket stats");
+        assert!(net.messages > 0);
+        assert_eq!(net.topology_drops, 0);
+        assert!(out.metrics.is_empty(), "sockets don't meter per-tag rounds");
+    }
+
+    #[test]
+    #[should_panic(expected = "no networked runtime")]
+    fn networked_backend_rejects_protocols_without_a_codec() {
+        let spec = RunSpec::new(3, 0, 4).net(20760);
+        let w = OneShot::new(
+            Round(0),
+            vec![(
+                ProcessId::new(0),
+                RumorSpec::new(0, vec![1], 16, vec![ProcessId::new(1)]),
+            )],
+        );
+        let _ = run::<DirectNode, _, _>(spec, NoFailures, w);
     }
 
     #[test]

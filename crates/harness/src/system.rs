@@ -5,7 +5,9 @@ use congos_adversary::RumorSpec;
 use congos_baselines::{CryptoMulticastNode, DirectNode, StronglyConfidentialNode};
 use congos_gossip::standalone::Delivered;
 use congos_gossip::GossipNode;
-use congos_sim::Protocol;
+use congos_sim::{Protocol, TopologySpec};
+
+use crate::netrun::{NetRunReport, ScheduledInjection};
 
 /// A gossip protocol the harness can run generically: its input can be built
 /// from a [`RumorSpec`] and its outputs expose the workload rumor id.
@@ -18,12 +20,54 @@ where
 
     /// Workload id of a delivered output.
     fn wid_of(out: &Self::Output) -> u64;
+
+    /// Runs this protocol over the localhost TCP cluster runtime with a
+    /// pre-materialized injection schedule (see [`crate::netrun`]), if the
+    /// protocol has a networked deployment. `None` means it doesn't —
+    /// the default; only protocols with a wire codec can leave the process.
+    fn net_run(
+        _n: usize,
+        _seed: u64,
+        _rounds: u64,
+        _topology: TopologySpec,
+        _base_port: u16,
+        _injections: Vec<ScheduledInjection>,
+    ) -> Option<std::io::Result<NetRunReport>> {
+        None
+    }
 }
 
 impl GossipSystem for CongosNode {
     const NAME: &'static str = "congos";
     fn wid_of(out: &DeliveredRumor) -> u64 {
         out.wid
+    }
+
+    fn net_run(
+        n: usize,
+        seed: u64,
+        rounds: u64,
+        topology: TopologySpec,
+        base_port: u16,
+        injections: Vec<ScheduledInjection>,
+    ) -> Option<std::io::Result<NetRunReport>> {
+        let cfg = congos_net::NetConfig::new(n, base_port)
+            .seed(seed)
+            .rounds(rounds)
+            .topology(topology);
+        let injections = injections
+            .into_iter()
+            .map(|(round, source, spec)| (round, source, congos::CongosInput::from(spec)))
+            .collect();
+        Some(congos_net::run_cluster(cfg, injections).map(|report| NetRunReport {
+            deliveries: report
+                .deliveries
+                .iter()
+                .map(|o| (o.value.wid, o.process, o.round))
+                .collect(),
+            messages: report.messages,
+            topology_drops: report.topology_drops,
+        }))
     }
 }
 

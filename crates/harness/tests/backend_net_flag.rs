@@ -1,0 +1,35 @@
+//! `--backend net[:port]` flag plumbing, in an isolated process.
+//!
+//! The net default is a process-wide `OnceLock` (first writer wins), so
+//! this lives in its own integration-test binary: nothing else here may
+//! touch the backend/net defaults before the assertions run.
+
+use congos_harness::{default_net, init_backend_from_args, RunSpec, DEFAULT_NET_PORT};
+use congos_sim::EngineBackend;
+
+#[test]
+fn backend_net_flag_reroutes_every_runspec() {
+    assert_eq!(DEFAULT_NET_PORT, 20700);
+
+    let args: Vec<String> = ["--backend", "net:21400"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    // The engine backend is untouched by `net` — the returned value is
+    // whatever the engine default resolves to.
+    let backend = init_backend_from_args(&args);
+    assert!(matches!(
+        backend,
+        EngineBackend::Sequential | EngineBackend::Parallel { .. } | EngineBackend::Auto
+    ));
+
+    assert_eq!(default_net(), Some(21400));
+    let spec = RunSpec::new(8, 1, 10);
+    assert_eq!(
+        spec.net,
+        Some(21400),
+        "every RunSpec::new must pick up the process-wide net default"
+    );
+    // An explicit builder port still overrides the default.
+    assert_eq!(RunSpec::new(8, 1, 10).net(21500).net, Some(21500));
+}

@@ -2,7 +2,9 @@
 //!
 //! Start `n` of these (one per id), each with the same `--n`, `--base-port`,
 //! `--rounds` and `--seed`; they find each other on localhost and run the
-//! protocol in bulk-synchronous rounds. Deliveries print to stdout.
+//! protocol in bulk-synchronous rounds. Deliveries print to stdout; with
+//! `--json` the run ends with one machine-readable report line (what
+//! `congos-coordinator` parses).
 //!
 //! ```text
 //! congos-node --id 0 --n 4 --base-port 19000 --rounds 70 \
@@ -11,6 +13,10 @@
 //! congos-node --id 2 --n 4 --base-port 19000 --rounds 70
 //! congos-node --id 3 --n 4 --base-port 19000 --rounds 70
 //! ```
+//!
+//! Failure behavior: a bind failure, an unreachable peer, or a peer lost
+//! mid-run exits nonzero with a diagnostic on stderr — the transport's
+//! barrier never hangs on a dead peer.
 
 use std::process::exit;
 
@@ -18,12 +24,35 @@ use congos::CongosInput;
 use congos_net::runtime::run_node_process;
 use congos_sim::{ProcessId, TopologySpec};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: congos-node --id <i> --n <n> [--base-port <p>] [--rounds <r>] \
-         [--seed <s>] [--topology <complete|expander:d|churn:p>] \
-         [--inject <round>:<d1,d2,..>:<hex>]..."
-    );
+const USAGE: &str = "usage: congos-node --id <i> --n <n> [options]
+
+Runs one node of an n-node CONGOS cluster over localhost TCP.
+
+required:
+  --id <i>                 this node's id (0-based)
+  --n <n>                  cluster size
+
+options:
+  --base-port <p>          first port of the cluster range; node i listens
+                           on p+i (default 19000)
+  --rounds <r>             rounds to execute (default 70)
+  --seed <s>               master seed, must match across the cluster
+                           (default 0)
+  --topology <spec>        complete | expander:<d> | churn:<spec>
+                           (default complete)
+  --deadline <r>           deadline class of injected rumors (default 64)
+  --wid-base <k>           first workload id for this node's injections
+                           (default 0; coordinators pass disjoint bases so
+                           ids stay unique across the cluster)
+  --inject <round>:<d1,d2,..>:<hex>
+                           inject a rumor at <round> for destinations
+                           <d1,d2,..> with hex-encoded payload; repeatable
+  --json                   end with one machine-readable JSON report line
+  --help                   show this help";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("congos-node: {msg}");
+    eprintln!("{USAGE}");
     exit(2)
 }
 
@@ -34,49 +63,80 @@ fn main() {
     let mut base_port: u16 = 19000;
     let mut rounds: u64 = 70;
     let mut seed: u64 = 0;
+    let mut deadline: u64 = 64;
+    let mut wid_base: u64 = 0;
     let mut topology = TopologySpec::Complete;
-    let mut injections: Vec<(u64, CongosInput)> = Vec::new();
+    let mut json = false;
+    // (round, dests, payload) — wids and deadlines are assigned after the
+    // loop so flag order doesn't matter.
+    let mut raw_injections: Vec<(u64, Vec<ProcessId>, Vec<u8>)> = Vec::new();
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let mut val = || it.next().unwrap_or_else(|| usage());
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            return;
+        }
+        if flag == "--json" {
+            json = true;
+            continue;
+        }
+        let val = it
+            .next()
+            .unwrap_or_else(|| usage_error(&format!("flag {flag} needs a value")));
+        let parse_fail = || -> ! { usage_error(&format!("bad value {val:?} for {flag}")) };
         match flag.as_str() {
-            "--id" => id = val().parse().ok(),
-            "--n" => n = val().parse().ok(),
-            "--base-port" => base_port = val().parse().unwrap_or_else(|_| usage()),
-            "--rounds" => rounds = val().parse().unwrap_or_else(|_| usage()),
-            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
-            "--topology" => topology = val().parse().unwrap_or_else(|_| usage()),
+            "--id" => id = Some(val.parse().unwrap_or_else(|_| parse_fail())),
+            "--n" => n = Some(val.parse().unwrap_or_else(|_| parse_fail())),
+            "--base-port" => base_port = val.parse().unwrap_or_else(|_| parse_fail()),
+            "--rounds" => rounds = val.parse().unwrap_or_else(|_| parse_fail()),
+            "--seed" => seed = val.parse().unwrap_or_else(|_| parse_fail()),
+            "--deadline" => deadline = val.parse().unwrap_or_else(|_| parse_fail()),
+            "--wid-base" => wid_base = val.parse().unwrap_or_else(|_| parse_fail()),
+            "--topology" => topology = val.parse().unwrap_or_else(|_| parse_fail()),
             "--inject" => {
-                let spec = val();
-                let parts: Vec<&str> = spec.splitn(3, ':').collect();
+                let parts: Vec<&str> = val.splitn(3, ':').collect();
                 if parts.len() != 3 {
-                    usage();
+                    usage_error(&format!(
+                        "--inject wants <round>:<d1,d2,..>:<hex>, got {val:?}"
+                    ));
                 }
-                let round: u64 = parts[0].parse().unwrap_or_else(|_| usage());
+                let round: u64 = parts[0].parse().unwrap_or_else(|_| parse_fail());
                 let dest: Vec<ProcessId> = parts[1]
                     .split(',')
-                    .map(|d| ProcessId::new(d.parse().unwrap_or_else(|_| usage())))
+                    .map(|d| ProcessId::new(d.parse().unwrap_or_else(|_| parse_fail())))
                     .collect();
-                let data = decode_hex(parts[2]).unwrap_or_else(|| usage());
-                injections.push((
-                    round,
-                    CongosInput {
-                        wid: injections.len() as u64,
-                        data,
-                        deadline: 64,
-                        dest,
-                    },
-                ));
+                let data = decode_hex(parts[2]).unwrap_or_else(|| parse_fail());
+                raw_injections.push((round, dest, data));
             }
-            _ => usage(),
+            other => usage_error(&format!("unknown flag {other:?}")),
         }
     }
-    let (Some(id), Some(n)) = (id, n) else { usage() };
+    let (Some(id), Some(n)) = (id, n) else {
+        usage_error("--id and --n are required")
+    };
+    if id >= n {
+        usage_error(&format!("--id {id} out of range for --n {n}"));
+    }
+    let injections: Vec<(u64, CongosInput)> = raw_injections
+        .into_iter()
+        .enumerate()
+        .map(|(i, (round, dest, data))| {
+            (
+                round,
+                CongosInput {
+                    wid: wid_base + i as u64,
+                    data,
+                    deadline,
+                    dest,
+                },
+            )
+        })
+        .collect();
 
     match run_node_process(id, n, base_port, rounds, seed, topology, injections) {
-        Ok(deliveries) => {
-            for d in deliveries {
+        Ok(report) => {
+            for d in &report.deliveries {
                 println!(
                     "round {} process p{} delivered wid={} ({} bytes) via {:?}",
                     d.round.as_u64(),
@@ -86,12 +146,37 @@ fn main() {
                     d.value.via
                 );
             }
+            if json {
+                println!("{}", report_json(id, &report));
+            }
         }
         Err(e) => {
-            eprintln!("node {id} failed: {e}");
+            eprintln!("congos-node: node {id} failed: {e}");
             exit(1);
         }
     }
+}
+
+/// One-line JSON report (hand-rolled; the repo carries no serde).
+fn report_json(id: usize, report: &congos_net::NodeReport) -> String {
+    let mut s = format!(
+        "{{\"id\":{id},\"rounds\":{},\"messages\":{},\"topology_drops\":{},\"deliveries\":[",
+        report.rounds, report.messages, report.topology_drops
+    );
+    for (i, d) in report.deliveries.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"wid\":{},\"round\":{},\"process\":{},\"bytes\":{}}}",
+            d.value.wid,
+            d.round.as_u64(),
+            d.process.as_usize(),
+            d.value.data.len()
+        ));
+    }
+    s.push_str("]}");
+    s
 }
 
 fn decode_hex(s: &str) -> Option<Vec<u8>> {

@@ -39,16 +39,30 @@ pub enum WireFrame {
     },
 }
 
+/// Hard cap on the body of one frame. A peer (or corrupted stream) whose
+/// length prefix exceeds this is rejected with `InvalidData` *before* any
+/// allocation — the decoder never trusts the wire with its memory. Far
+/// above any legitimate CONGOS frame (fragments are kilobytes), far below
+/// anything that could hurt the host.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
 /// Writes one frame: a little-endian `u32` length followed by the binary
 /// encoding.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the writer; serialization of [`WireFrame`]
-/// itself cannot fail.
+/// Propagates I/O errors from the writer; rejects frames larger than
+/// [`MAX_FRAME_LEN`] (which [`decode_frame`] would refuse anyway) with
+/// `InvalidData`.
 pub fn encode_frame<W: Write>(w: &mut W, frame: &WireFrame) -> io::Result<()> {
     let mut buf = Vec::with_capacity(64);
     put_frame(&mut buf, frame);
+    if buf.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME_LEN", buf.len()),
+        ));
+    }
     let len = u32::try_from(buf.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame too large"))?;
     w.write_all(&len.to_le_bytes())?;
@@ -57,14 +71,25 @@ pub fn encode_frame<W: Write>(w: &mut W, frame: &WireFrame) -> io::Result<()> {
 
 /// Reads one frame written by [`encode_frame`].
 ///
+/// Hostile-input hardened: the length prefix is capped by
+/// [`MAX_FRAME_LEN`], every inner length prefix is bounded by the bytes
+/// actually remaining in the frame, and every element count is validated
+/// against a per-element minimum encoding size before any collection is
+/// allocated. Malformed input of any shape yields an `io::Error`, never a
+/// panic or an unbounded allocation.
+///
 /// # Errors
 ///
 /// Returns the underlying I/O error (including clean EOF as
-/// `UnexpectedEof`) or an `InvalidData` error for a malformed encoding.
+/// `UnexpectedEof`) or an `InvalidData` error for a malformed or oversized
+/// encoding.
 pub fn decode_frame<R: Read>(r: &mut R) -> io::Result<WireFrame> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(bad("frame length prefix exceeds MAX_FRAME_LEN"));
+    }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
     let mut dec = Dec { buf: &buf, pos: 0 };
@@ -327,10 +352,43 @@ impl Dec<'_> {
         let n = self.len()?;
         Ok(self.take(n)?.to_vec())
     }
-    /// Element count for sequences of elements occupying >= 1 byte each.
-    fn count(&mut self) -> io::Result<usize> {
-        self.len()
+    /// Element count for a sequence whose elements each encode to at least
+    /// `min_elem` bytes. The count is validated against the bytes actually
+    /// remaining, so `Vec::with_capacity(count)` downstream is bounded by
+    /// the (already capped) frame size — a hostile count cannot reserve
+    /// more memory than the frame it arrived in.
+    fn count(&mut self, min_elem: usize) -> io::Result<usize> {
+        debug_assert!(min_elem >= 1);
+        let n = self.u32()? as usize;
+        let need = n
+            .checked_mul(min_elem)
+            .ok_or_else(|| bad("element count overflows"))?;
+        if need > self.buf.len() - self.pos {
+            return Err(bad("element count exceeds frame"));
+        }
+        Ok(n)
     }
+}
+
+/// Minimum encoded sizes (bytes) per element kind, used to validate counts
+/// before allocating. Derived from the `put_*` encoders: every field is
+/// fixed-width except the two inner length prefixes of a fragment, which
+/// contribute at least their 4-byte prefix each.
+mod min_size {
+    /// pid(4) + birth(8) + seq(4).
+    pub const CRID: usize = 16;
+    /// Same layout as a CONGOS rumor id.
+    pub const RID: usize = 16;
+    /// crid + wid(8) + partition(2) + group(1) + k(1) + bytes prefix(4)
+    /// + idset universe(4) + dline(8).
+    pub const FRAGMENT: usize = CRID + 8 + 2 + 1 + 1 + 4 + 4 + 8;
+    /// pid + crid.
+    pub const HIT: usize = 4 + CRID;
+    /// Bare process id.
+    pub const PID: usize = 4;
+    /// rid + payload discriminant(1) + duration(8) + deadline(8)
+    /// + idset universe(4) + best_effort(1); the payload body adds more.
+    pub const GOSSIP_RUMOR: usize = RID + 1 + 8 + 8 + 4 + 1;
 }
 
 fn take_pid(d: &mut Dec) -> io::Result<ProcessId> {
@@ -387,7 +445,7 @@ fn take_fragment(d: &mut Dec) -> io::Result<Fragment> {
     })
 }
 fn take_fragments(d: &mut Dec) -> io::Result<Vec<Fragment>> {
-    let count = d.count()?;
+    let count = d.count(min_size::FRAGMENT)?;
     let mut v = Vec::with_capacity(count);
     for _ in 0..count {
         v.push(take_fragment(d)?);
@@ -395,7 +453,7 @@ fn take_fragments(d: &mut Dec) -> io::Result<Vec<Fragment>> {
     Ok(v)
 }
 fn take_hits(d: &mut Dec) -> io::Result<Vec<(ProcessId, CongosRumorId)>> {
-    let count = d.count()?;
+    let count = d.count(min_size::HIT)?;
     let mut v = Vec::with_capacity(count);
     for _ in 0..count {
         v.push((take_pid(d)?, take_crid(d)?));
@@ -406,7 +464,7 @@ fn take_payload(d: &mut Dec) -> io::Result<GossipPayload> {
     match d.u8()? {
         0 => Ok(GossipPayload::Fragments(take_fragments(d)?)),
         1 => {
-            let count = d.count()?;
+            let count = d.count(min_size::PID)?;
             let mut failed_proxies = Vec::with_capacity(count);
             for _ in 0..count {
                 failed_proxies.push(take_pid(d)?);
@@ -447,7 +505,7 @@ fn take_gossip_rumor(d: &mut Dec) -> io::Result<GossipRumor<Arc<GossipPayload>>>
 fn take_wire(d: &mut Dec) -> io::Result<GossipWire<Arc<GossipPayload>>> {
     match d.u8()? {
         0 => {
-            let count = d.count()?;
+            let count = d.count(min_size::GOSSIP_RUMOR)?;
             let mut rumors = Vec::with_capacity(count);
             for _ in 0..count {
                 rumors.push(take_gossip_rumor(d)?);
@@ -455,7 +513,7 @@ fn take_wire(d: &mut Dec) -> io::Result<GossipWire<Arc<GossipPayload>>> {
             Ok(GossipWire::Push(Arc::new(rumors)))
         }
         1 => {
-            let count = d.count()?;
+            let count = d.count(min_size::RID)?;
             let mut ids = Vec::with_capacity(count);
             for _ in 0..count {
                 ids.push(take_rid(d)?);
@@ -722,5 +780,94 @@ mod tests {
         // Corrupt the tag length (offset: 4 frame len + 1 disc + 4 pid + 8 round).
         buf[17] = 0xFF;
         assert!(decode_frame(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocation() {
+        // A hostile 4 GiB length prefix must be refused up front — if the
+        // decoder tried to honor it, `vec![0u8; len]` would OOM the host.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_frame(&mut std::io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("MAX_FRAME_LEN"), "{err}");
+        // Just over the cap is refused too; at most MAX_FRAME_LEN is read.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 64]);
+        assert!(decode_frame(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn hostile_element_count_rejected_before_allocation() {
+        // A Gossip/Push frame claiming u32::MAX rumors in a tiny body must
+        // fail the count-vs-remaining-bytes check, not reserve gigabytes.
+        let mut body = Vec::new();
+        put_u8(&mut body, 0); // WireFrame::Msg
+        put_pid(&mut body, ProcessId::new(0));
+        put_u64(&mut body, 0); // round
+        put_bytes(&mut body, b"all_gossip");
+        put_u8(&mut body, 0); // CongosMsg::Gossip
+        put_u8(&mut body, 1); // GossipLane::All
+        put_u64(&mut body, 64); // dline
+        put_u8(&mut body, 0); // GossipWire::Push
+        put_u32(&mut body, u32::MAX); // hostile rumor count
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&body);
+        let err = decode_frame(&mut std::io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Same for a ProxyRequest with a hostile fragment count.
+        let mut body = Vec::new();
+        put_u8(&mut body, 0);
+        put_pid(&mut body, ProcessId::new(1));
+        put_u64(&mut body, 3);
+        put_bytes(&mut body, b"proxy");
+        put_u8(&mut body, 1); // CongosMsg::ProxyRequest
+        put_u64(&mut body, 64);
+        put_u16(&mut body, 0);
+        put_u32(&mut body, 50_000_000); // hostile fragment count
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&body);
+        assert!(decode_frame(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn encode_rejects_oversized_frame() {
+        use congos::Fragment;
+        // A fragment with a payload bigger than MAX_FRAME_LEN cannot be
+        // framed (one rumor's fragments are ~|rumor|/g bytes, so this only
+        // triggers on absurd inputs — but the check keeps encode and decode
+        // symmetric).
+        let f = Fragment {
+            rid: CongosRumorId {
+                source: ProcessId::new(0),
+                birth: Round(0),
+                seq: 0,
+            },
+            wid: 0,
+            partition: 0,
+            group: 0,
+            k: 1,
+            bytes: vec![0u8; MAX_FRAME_LEN + 1].into(),
+            dest: IdSet::empty(4).into(),
+            dline: 64,
+        };
+        let frame = WireFrame::Msg {
+            src: ProcessId::new(0),
+            round: 0,
+            tag: "partials".into(),
+            payload: CongosMsg::Partials {
+                dline: 64,
+                ell: 0,
+                fragments: vec![f],
+            },
+        };
+        let mut sink = Vec::new();
+        let err = encode_frame(&mut sink, &frame).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(sink.is_empty(), "nothing was written");
     }
 }

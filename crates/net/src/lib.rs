@@ -1,11 +1,17 @@
 //! # congos-net — a bulk-synchronous TCP runtime for CONGOS
 //!
-//! Runs real CONGOS nodes as OS threads communicating over **localhost TCP
-//! sockets** with a length-prefixed JSON wire format — the protocol logic
-//! from the `congos` crate, unchanged, on an actual network stack. Rounds
-//! are bulk-synchronous supersteps: each node sends its round's messages to
-//! its peers' sockets, follows with an end-of-round marker, and blocks until
-//! it has received every peer's marker before computing.
+//! Runs real CONGOS nodes as OS threads or processes communicating over
+//! **TCP sockets** with a length-prefixed hand-rolled binary wire format
+//! (see [`codec`]) — the protocol logic from the `congos` crate, unchanged,
+//! on an actual network stack. Rounds are bulk-synchronous supersteps: each
+//! node sends its round's messages to its peers' sockets, follows with an
+//! end-of-round marker, and blocks until it has received every peer's
+//! marker before computing.
+//!
+//! The round loop itself lives in `congos_sim::transport` — a node here is
+//! a [`congos_sim::transport::NodeDriver`] over a
+//! [`transport::TcpTransport`], the same generic driver the simulator's
+//! `MemTransport` path uses, so the two runtimes cannot drift apart.
 //!
 //! Like the in-process threaded runtime, this backend is failure-free (an
 //! *adaptive* adversary is definitionally a lock-step construct — see
@@ -34,6 +40,8 @@
 
 pub mod codec;
 pub mod runtime;
+pub mod transport;
 
 pub use codec::{decode_frame, encode_frame, WireFrame};
-pub use runtime::{run_cluster, run_node_process, NetConfig, NetReport};
+pub use runtime::{run_cluster, run_node_process, NetConfig, NetReport, NodeReport};
+pub use transport::TcpTransport;

@@ -1,20 +1,20 @@
 //! The bulk-synchronous TCP cluster runtime.
+//!
+//! Since the `RoundTransport` refactor this module contains **no round
+//! logic of its own**: every node is a [`congos_sim::transport::NodeDriver`]
+//! — the same per-node superstep the simulator's engine is built on —
+//! driving a [`TcpTransport`](crate::transport::TcpTransport). The runtime
+//! only wires up sockets, schedules injections and aggregates reports.
 
-use std::collections::VecDeque;
-use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
-use std::time::Duration;
+use std::io;
+use std::net::TcpListener;
 
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Mutex;
+use congos::{CongosConfig, CongosInput, CongosNode, DeliveredRumor};
+use congos_sim::topology::TopologySpec;
+use congos_sim::transport::NodeDriver;
+use congos_sim::{OutputRecord, ProcessId};
 
-use congos::{tag_by_name, CongosConfig, CongosInput, CongosNode, DeliveredRumor};
-use congos_sim::rng::{fork_rng, fork_seed};
-use congos_sim::topology::{Topology, TopologySpec};
-use congos_sim::{Context, Envelope, Inbox, OutputRecord, ProcessId, Protocol, Round, Tag};
-
-use crate::codec::{decode_frame, encode_frame, WireFrame};
+use crate::transport::TcpTransport;
 
 /// Configuration of a localhost CONGOS cluster.
 #[derive(Clone, Debug)]
@@ -82,6 +82,47 @@ impl NetConfig {
         self.topology = topology;
         self
     }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// First port of the cluster's port range.
+    pub fn base_port(&self) -> u16 {
+        self.base_port
+    }
+
+    /// Master seed.
+    pub fn master_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Rounds to execute.
+    pub fn round_count(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The configured topology spec.
+    pub fn topology_spec(&self) -> TopologySpec {
+        self.topology
+    }
+}
+
+/// One node's share of a cluster run.
+#[derive(Debug)]
+pub struct NodeReport {
+    /// The node.
+    pub id: ProcessId,
+    /// Rumors this node delivered, ordered by round.
+    pub deliveries: Vec<OutputRecord<DeliveredRumor>>,
+    /// Protocol messages this node shipped over sockets.
+    pub messages: u64,
+    /// Outbound messages dropped at this node because the topology had no
+    /// link that round.
+    pub topology_drops: u64,
+    /// Rounds executed.
+    pub rounds: u64,
 }
 
 /// Result of a cluster run.
@@ -99,17 +140,62 @@ pub struct NetReport {
     pub rounds: u64,
 }
 
-type Writers = Vec<Option<BufWriter<TcpStream>>>;
+impl NetReport {
+    /// Aggregates per-node reports into a cluster report.
+    pub fn aggregate(nodes: impl IntoIterator<Item = NodeReport>) -> Self {
+        let mut report = NetReport {
+            deliveries: Vec::new(),
+            messages: 0,
+            topology_drops: 0,
+            rounds: 0,
+        };
+        for node in nodes {
+            report.deliveries.extend(node.deliveries);
+            report.messages += node.messages;
+            report.topology_drops += node.topology_drops;
+            report.rounds = report.rounds.max(node.rounds);
+        }
+        report.deliveries.sort_by_key(|o| (o.round, o.process));
+        report
+    }
+}
 
-/// Runs a CONGOS cluster over localhost TCP to completion.
+/// Drives one node over an already-connected transport: builds the
+/// `CongosNode` exactly as the simulator would (same forked seed, same
+/// config) and runs the shared superstep loop.
+fn drive_node(
+    me: ProcessId,
+    cfg: &NetConfig,
+    mut transport: TcpTransport,
+    mut injections: Vec<(u64, CongosInput)>,
+) -> io::Result<NodeReport> {
+    injections.sort_by_key(|(r, _)| *r);
+    let congos_cfg = cfg.congos.clone();
+    let mut driver = NodeDriver::<CongosNode>::with_factory(me, cfg.n, cfg.seed, |id, n, _| {
+        CongosNode::with_config(id, n, congos_cfg)
+    });
+    driver.run_rounds(&mut transport, cfg.rounds, injections)?;
+    Ok(NodeReport {
+        id: me,
+        deliveries: driver.into_outputs(),
+        messages: transport.messages(),
+        topology_drops: transport.topology_drops(),
+        rounds: cfg.rounds,
+    })
+}
+
+/// Runs a CONGOS cluster over localhost TCP to completion (every node a
+/// thread of this process; for true multi-process deployment see
+/// [`run_node_process`] and the `congos-node` / `congos-coordinator`
+/// binaries).
 ///
 /// `injections` schedules rumors as `(round, process, input)`; at most one
 /// injection per process per round (the model's rule).
 ///
 /// # Errors
 ///
-/// Returns any socket-level error (bind, connect, serialize) encountered
-/// while running the cluster.
+/// Returns any socket-level error (bind, connect, frame, peer loss)
+/// encountered while running the cluster.
 pub fn run_cluster(
     cfg: NetConfig,
     injections: Vec<(u64, ProcessId, CongosInput)>,
@@ -128,51 +214,43 @@ pub fn run_cluster(
         per_node_inj[pid.as_usize()].push((round, input));
     }
 
-    let outputs = Arc::new(Mutex::new(Vec::<OutputRecord<DeliveredRumor>>::new()));
-    let counters = Arc::new(Mutex::new((0u64, 0u64))); // (sent, topology drops)
-    let errors = Arc::new(Mutex::new(Vec::<io::Error>::new()));
-
+    let mut results: Vec<io::Result<NodeReport>> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
-        for (i, (listener, mut my_inj)) in
-            listeners.into_iter().zip(per_node_inj).enumerate()
-        {
-            my_inj.sort_by_key(|(r, _)| *r);
-            let cfg = cfg.clone();
-            let outputs = Arc::clone(&outputs);
-            let counters = Arc::clone(&counters);
-            let errors = Arc::clone(&errors);
-            scope.spawn(move || {
-                if let Err(e) = node_main(i, listener, cfg, my_inj, &outputs, &counters) {
-                    errors.lock().expect("error sink").push(e);
-                }
-            });
+        let mut handles = Vec::with_capacity(n);
+        for (i, (listener, my_inj)) in listeners.into_iter().zip(per_node_inj).enumerate() {
+            let cfg = &cfg;
+            handles.push(scope.spawn(move || {
+                let me = ProcessId::new(i);
+                let transport = TcpTransport::with_listener(
+                    me,
+                    cfg.n,
+                    cfg.base_port,
+                    listener,
+                    cfg.topology,
+                    cfg.seed,
+                )?;
+                drive_node(me, cfg, transport, my_inj)
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("node thread panicked"));
         }
     });
 
-    if let Some(e) = errors.lock().expect("error sink").pop() {
-        return Err(e);
+    let mut nodes = Vec::with_capacity(n);
+    for res in results {
+        nodes.push(res?);
     }
-    let mut outs = Arc::try_unwrap(outputs)
-        .unwrap_or_else(|_| unreachable!("threads joined"))
-        .into_inner()
-        .expect("outputs lock");
-    outs.sort_by_key(|o| (o.round, o.process));
-    let (messages, topology_drops) = *counters.lock().expect("counters lock");
-    Ok(NetReport {
-        deliveries: outs,
-        messages,
-        topology_drops,
-        rounds: cfg.rounds,
-    })
+    Ok(NetReport::aggregate(nodes))
 }
 
 /// Runs ONE node of a cluster in the calling process — the entry point for
 /// true multi-process deployment (see the `congos-node` binary). Blocks
-/// until `rounds` complete and returns this node's deliveries.
+/// until `rounds` complete and returns this node's report.
 ///
 /// # Errors
 ///
-/// Returns socket-level errors (bind/connect/serialize).
+/// Returns socket-level errors (bind, connect, frame, peer loss).
 pub fn run_node_process(
     id: usize,
     n: usize,
@@ -181,245 +259,14 @@ pub fn run_node_process(
     seed: u64,
     topology: TopologySpec,
     injections: Vec<(u64, CongosInput)>,
-) -> io::Result<Vec<OutputRecord<DeliveredRumor>>> {
+) -> io::Result<NodeReport> {
     let cfg = NetConfig::new(n, base_port)
         .rounds(rounds)
         .seed(seed)
         .topology(topology);
-    let listener = TcpListener::bind(("127.0.0.1", base_port + id as u16))?;
-    let outputs = Mutex::new(Vec::new());
-    let counters = Mutex::new((0u64, 0u64));
-    node_main(id, listener, cfg, injections, &outputs, &counters)?;
-    let mut outs = outputs.into_inner().expect("outputs lock");
-    outs.sort_by_key(|o| (o.round, o.process));
-    Ok(outs)
-}
-
-fn node_main(
-    i: usize,
-    listener: TcpListener,
-    cfg: NetConfig,
-    mut my_inj: Vec<(u64, CongosInput)>,
-    outputs: &Mutex<Vec<OutputRecord<DeliveredRumor>>>,
-    counters: &Mutex<(u64, u64)>,
-) -> io::Result<()> {
-    let n = cfg.n;
-    let me = ProcessId::new(i);
-
-    // Inbound: accept n−1 peers; each gets a reader thread feeding one
-    // channel of frames.
-    let (frame_tx, frame_rx): (Sender<WireFrame>, Receiver<WireFrame>) = channel();
-    if n > 1 {
-        let accept_tx = frame_tx.clone();
-        let accept_handle = std::thread::spawn(move || -> io::Result<Vec<_>> {
-            let mut handles = Vec::new();
-            for _ in 0..n - 1 {
-                let (stream, _) = listener.accept()?;
-                stream.set_nodelay(true).ok();
-                let tx = accept_tx.clone();
-                handles.push(std::thread::spawn(move || {
-                    let mut reader = BufReader::new(stream);
-                    while let Ok(frame) = decode_frame(&mut reader) {
-                        if tx.send(frame).is_err() {
-                            break;
-                        }
-                    }
-                }));
-            }
-            Ok(handles)
-        });
-
-        // Outbound: dial every peer (retrying while they come up).
-        let mut writers: Writers = (0..n).map(|_| None).collect();
-        for (j, slot) in writers.iter_mut().enumerate() {
-            if j == i {
-                continue;
-            }
-            let addr = ("127.0.0.1", cfg.base_port + j as u16);
-            let stream = loop {
-                match TcpStream::connect(addr) {
-                    Ok(s) => break s,
-                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
-                }
-            };
-            stream.set_nodelay(true).ok();
-            *slot = Some(BufWriter::new(stream));
-        }
-        let mut reader_handles = accept_handle.join().expect("accept thread")?;
-
-        return node_rounds(
-            me,
-            n,
-            &cfg,
-            &mut my_inj,
-            writers,
-            frame_rx,
-            outputs,
-            counters,
-        )
-        .map(|_| {
-            drop(frame_tx);
-            for h in reader_handles.drain(..) {
-                let _ = h.join();
-            }
-        });
-    }
-
-    // Single-node cluster: no sockets at all.
-    drop(frame_tx);
-    node_rounds(
-        me,
-        n,
-        &cfg,
-        &mut my_inj,
-        Vec::new(),
-        frame_rx,
-        outputs,
-        counters,
-    )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn node_rounds(
-    me: ProcessId,
-    n: usize,
-    cfg: &NetConfig,
-    my_inj: &mut Vec<(u64, CongosInput)>,
-    mut writers: Writers,
-    frame_rx: Receiver<WireFrame>,
-    outputs: &Mutex<Vec<OutputRecord<DeliveredRumor>>>,
-    counters: &Mutex<(u64, u64)>,
-) -> io::Result<()> {
-    let topo = Topology::build(cfg.topology, n, cfg.seed);
-    let mut node = CongosNode::with_config(me, n, cfg.congos.clone());
-    node.on_start(Round::ZERO);
-    let mut rng = fork_rng(cfg.seed, me, 0);
-    let _ = fork_seed(cfg.seed, me, 0);
-    let mut pending: Vec<(ProcessId, congos::CongosMsg, Tag)> = Vec::new();
-    let mut local_outputs: Vec<OutputRecord<DeliveredRumor>> = Vec::new();
-    let mut carried: VecDeque<WireFrame> = VecDeque::new();
-    let mut sent = 0u64;
-    let mut dropped = 0u64;
-
-    for r in 0..cfg.rounds {
-        let round = Round(r);
-        // Send phase.
-        {
-            let mut ctx = Context::<CongosNode>::for_runtime(
-                me,
-                n,
-                round,
-                &mut rng,
-                &mut pending,
-                &mut local_outputs,
-            );
-            node.send(&mut ctx);
-        }
-        let mut self_inbox: Vec<Envelope<congos::CongosMsg>> = Vec::new();
-        for (dst, payload, tag) in pending.drain(..) {
-            if dst == me {
-                self_inbox.push(Envelope {
-                    src: me,
-                    dst,
-                    round,
-                    tag,
-                    payload,
-                });
-                continue;
-            }
-            if !topo.connected(round, me, dst) {
-                // The simulator's delivery phase would drop this envelope;
-                // dropping at the sender keeps delivery sets identical and
-                // saves the wire hop.
-                dropped += 1;
-                continue;
-            }
-            sent += 1;
-            let frame = WireFrame::Msg {
-                src: me,
-                round: r,
-                tag: tag.name().to_string(),
-                payload,
-            };
-            let w = writers[dst.as_usize()]
-                .as_mut()
-                .expect("writer for peer exists");
-            encode_frame(w, &frame)?;
-        }
-        for w in writers.iter_mut().flatten() {
-            encode_frame(w, &WireFrame::EndOfRound { src: me, round: r })?;
-            w.flush()?;
-        }
-
-        // Barrier: collect this round's frames until n−1 markers. Frames
-        // from future rounds (peers may run one superstep ahead) are parked
-        // in `carried`; the parked queue is scanned once per round — never
-        // re-polled inside the same round, which would spin.
-        let mut inbox = self_inbox;
-        let mut eor = 0usize;
-        let classify = |frame: WireFrame,
-                            inbox: &mut Vec<Envelope<congos::CongosMsg>>,
-                            eor: &mut usize|
-         -> Option<WireFrame> {
-            match frame {
-                WireFrame::Msg {
-                    src,
-                    round: fr,
-                    tag,
-                    payload,
-                } if fr == r => {
-                    inbox.push(Envelope {
-                        src,
-                        dst: me,
-                        round,
-                        tag: tag_by_name(&tag).unwrap_or(Tag("remote")),
-                        payload,
-                    });
-                    None
-                }
-                WireFrame::EndOfRound { round: fr, .. } if fr == r => {
-                    *eor += 1;
-                    None
-                }
-                future => Some(future),
-            }
-        };
-        for frame in std::mem::take(&mut carried) {
-            if let Some(f) = classify(frame, &mut inbox, &mut eor) {
-                carried.push_back(f);
-            }
-        }
-        while eor < n - 1 {
-            let frame = frame_rx
-                .recv()
-                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))?;
-            if let Some(f) = classify(frame, &mut inbox, &mut eor) {
-                carried.push_back(f);
-            }
-        }
-        inbox.sort_by_key(|e| e.src);
-
-        // Compute phase.
-        let input = match my_inj.first() {
-            Some((due, _)) if *due == r => Some(my_inj.remove(0).1),
-            _ => None,
-        };
-        let mut ctx = Context::<CongosNode>::for_runtime(
-            me,
-            n,
-            round,
-            &mut rng,
-            &mut pending,
-            &mut local_outputs,
-        );
-        node.receive(&mut ctx, Inbox::from_slice(&inbox), input);
-    }
-
-    outputs.lock().expect("outputs lock").extend(local_outputs);
-    let mut c = counters.lock().expect("counters lock");
-    c.0 += sent;
-    c.1 += dropped;
-    Ok(())
+    let me = ProcessId::new(id);
+    let transport = TcpTransport::connect(me, n, base_port, topology, seed)?;
+    drive_node(me, &cfg, transport, injections)
 }
 
 #[cfg(test)]

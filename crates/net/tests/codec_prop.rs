@@ -1,0 +1,247 @@
+//! Property tests for the wire codec's hostile-input behavior.
+//!
+//! The contract of `decode_frame` is: *any* byte stream — truncated,
+//! bit-flipped, or outright random — yields `Ok` or an `io::Error`, never a
+//! panic and never an allocation beyond the (capped) frame length. These
+//! tests drive that contract with randomized corruption of a corpus of
+//! valid encodings covering every `CongosMsg` variant.
+
+use std::io::Cursor;
+use std::sync::Arc;
+
+use congos::messages::GossipLane;
+use congos::{CongosMsg, CongosRumorId, Fragment, GossipPayload, Rumor};
+use congos_gossip::{GossipRumor, GossipWire, RumorId};
+use congos_net::{decode_frame, encode_frame, WireFrame};
+use congos_sim::{IdSet, ProcessId, Round};
+use proptest::prelude::*;
+
+fn fragment(seq: u32) -> Fragment {
+    Fragment {
+        rid: CongosRumorId {
+            source: ProcessId::new(seq as usize % 4),
+            birth: Round(seq as u64),
+            seq,
+        },
+        wid: 10 + seq as u64,
+        partition: (seq % 3) as u16,
+        group: (seq % 2) as u8,
+        k: 2,
+        bytes: vec![seq as u8; 24 + seq as usize % 8].into(),
+        dest: IdSet::from_iter(8, [ProcessId::new(1), ProcessId::new(5)]).into(),
+        dline: 64,
+    }
+}
+
+fn rid(seq: u32) -> RumorId {
+    RumorId {
+        origin: ProcessId::new(seq as usize % 4),
+        birth: Round(2),
+        seq,
+    }
+}
+
+fn gossip_rumor(payload: GossipPayload) -> GossipRumor<Arc<GossipPayload>> {
+    GossipRumor {
+        id: rid(0),
+        payload: Arc::new(payload),
+        duration: 8,
+        deadline: Round(40),
+        dest: Arc::new(IdSet::from_iter(8, [ProcessId::new(2)])),
+        best_effort: false,
+    }
+}
+
+fn msg_frame(tag: &str, payload: CongosMsg) -> WireFrame {
+    WireFrame::Msg {
+        src: ProcessId::new(1),
+        round: 6,
+        tag: tag.into(),
+        payload,
+    }
+}
+
+/// A corpus of valid frames touching every wire variant: both `WireFrame`s,
+/// all five `CongosMsg`s, both `GossipWire`s, all four `GossipPayload`s.
+fn corpus() -> Vec<Vec<u8>> {
+    let frames = vec![
+        WireFrame::EndOfRound {
+            src: ProcessId::new(3),
+            round: 12,
+        },
+        msg_frame(
+            "shoot",
+            CongosMsg::Shoot {
+                rumor: Rumor {
+                    wid: 7,
+                    data: b"confidential".to_vec(),
+                    deadline: 64,
+                    dest: IdSet::from_iter(8, [ProcessId::new(0), ProcessId::new(6)]),
+                },
+                rid: CongosRumorId {
+                    source: ProcessId::new(2),
+                    birth: Round(3),
+                    seq: 1,
+                },
+                direct: true,
+            },
+        ),
+        msg_frame(
+            "group_gossip",
+            CongosMsg::Gossip {
+                lane: GossipLane::Group { dline: 64, ell: 1 },
+                wire: Box::new(GossipWire::Push(Arc::new(vec![gossip_rumor(
+                    GossipPayload::Fragments(vec![fragment(0), fragment(1)]),
+                )]))),
+            },
+        ),
+        msg_frame(
+            "all_gossip",
+            CongosMsg::Gossip {
+                lane: GossipLane::All { dline: 64 },
+                wire: Box::new(GossipWire::Push(Arc::new(vec![
+                    gossip_rumor(GossipPayload::ProxyMeta {
+                        failed_proxies: vec![ProcessId::new(1), ProcessId::new(3)],
+                    }),
+                    gossip_rumor(GossipPayload::GdShare {
+                        hits: vec![(
+                            ProcessId::new(0),
+                            CongosRumorId {
+                                source: ProcessId::new(0),
+                                birth: Round(1),
+                                seq: 0,
+                            },
+                        )],
+                    }),
+                    gossip_rumor(GossipPayload::Distribution {
+                        partition: 1,
+                        group: 0,
+                        hits: vec![],
+                    }),
+                ]))),
+            },
+        ),
+        msg_frame(
+            "all_gossip",
+            CongosMsg::Gossip {
+                lane: GossipLane::All { dline: 64 },
+                wire: Box::new(GossipWire::Ack(vec![rid(0), rid(1), rid(2)])),
+            },
+        ),
+        msg_frame(
+            "proxy",
+            CongosMsg::ProxyRequest {
+                dline: 64,
+                ell: 2,
+                fragments: vec![fragment(2)],
+            },
+        ),
+        msg_frame("proxy", CongosMsg::ProxyAck { dline: 64, ell: 2 }),
+        msg_frame(
+            "partials",
+            CongosMsg::Partials {
+                dline: 64,
+                ell: 0,
+                fragments: vec![fragment(3), fragment(4), fragment(5)],
+            },
+        ),
+    ];
+    frames
+        .iter()
+        .map(|f| {
+            let mut buf = Vec::new();
+            encode_frame(&mut buf, f).expect("corpus frames encode");
+            buf
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every strict prefix of a valid encoding must fail to decode — there
+    /// is no truncation point that yields a spurious success, and none that
+    /// panics.
+    #[test]
+    fn truncations_error_cleanly(which in any::<usize>(), cut in any::<usize>()) {
+        let corpus = corpus();
+        let buf = &corpus[which % corpus.len()];
+        let cut = cut % buf.len(); // 0..len, always a strict prefix
+        let err = decode_frame(&mut Cursor::new(&buf[..cut]));
+        prop_assert!(err.is_err(), "decoding a {cut}-byte prefix of a {}-byte frame succeeded", buf.len());
+    }
+
+    /// A single flipped bit anywhere in a valid encoding must decode to
+    /// `Ok` or `Err` — never panic, never hang, never allocate past the
+    /// frame cap. (Flips in payload bytes legitimately still decode; flips
+    /// in discriminants, lengths and counts must be caught.)
+    #[test]
+    fn bit_flips_never_panic(
+        which in any::<usize>(),
+        byte in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let corpus = corpus();
+        let mut buf = corpus[which % corpus.len()].clone();
+        let i = byte % buf.len();
+        buf[i] ^= 1 << bit;
+        let _ = decode_frame(&mut Cursor::new(&buf)); // Ok or Err, both fine
+    }
+
+    /// Multiple corruptions at once: random byte overwrites on top of a
+    /// truncation. The decoder must stay panic-free on arbitrarily mangled
+    /// frames.
+    #[test]
+    fn stacked_corruption_never_panics(
+        which in any::<usize>(),
+        cut in any::<usize>(),
+        writes in prop::collection::vec((any::<usize>(), any::<u8>()), 0..8),
+    ) {
+        let corpus = corpus();
+        let buf = &corpus[which % corpus.len()];
+        let mut mangled = buf[..4 + cut % (buf.len() - 3)].to_vec(); // keep the length prefix
+        for (pos, val) in writes {
+            let i = pos % mangled.len();
+            mangled[i] = val;
+        }
+        let _ = decode_frame(&mut Cursor::new(&mangled));
+    }
+
+    /// Pure noise: random byte strings (with a sane length prefix bolted
+    /// on, so the decoder gets past the frame read) never panic.
+    #[test]
+    fn random_bytes_never_panic(body in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut buf = Vec::with_capacity(4 + body.len());
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&body);
+        let _ = decode_frame(&mut Cursor::new(&buf));
+    }
+
+    /// Corrupting only the outer length prefix: any 4-byte value either
+    /// decodes (len unchanged), errors, or is rejected by the frame cap —
+    /// and the rejection happens before the decoder allocates the claimed
+    /// length.
+    #[test]
+    fn length_prefix_corruption_is_bounded(which in any::<usize>(), len in any::<u32>()) {
+        let corpus = corpus();
+        let mut buf = corpus[which % corpus.len()].clone();
+        buf[..4].copy_from_slice(&len.to_le_bytes());
+        let res = decode_frame(&mut Cursor::new(&buf));
+        if len as usize > congos_net::codec::MAX_FRAME_LEN {
+            let err = res.expect_err("oversized prefix must be refused");
+            prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        }
+    }
+}
+
+/// Sanity outside proptest: the corpus itself round-trips, so the
+/// corruption tests above start from genuinely valid encodings.
+#[test]
+fn corpus_is_valid() {
+    for buf in corpus() {
+        let frame = decode_frame(&mut Cursor::new(&buf)).expect("corpus decodes");
+        let mut re = Vec::new();
+        encode_frame(&mut re, &frame).expect("corpus re-encodes");
+        assert_eq!(re, buf, "canonical encoding is stable");
+    }
+}

@@ -41,11 +41,12 @@ use rand::rngs::SmallRng;
 
 use crate::clock::Round;
 use crate::liveness::LivenessLog;
-use crate::message::{EnvelopeRef, Inbox, OutboxColumns, SendColumns, Tag};
+use crate::message::{EnvelopeRef, Inbox, SendColumns, Tag};
 use crate::metrics::Metrics;
 use crate::process::{ProcessId, ProcessState};
 use crate::rng::fork_rng;
 use crate::topology::{Topology, TopologySpec};
+use crate::transport::MemTransport;
 
 /// A synchronous message-passing protocol run by every process.
 ///
@@ -652,7 +653,6 @@ fn run_compute_slot<P: Protocol>(
 pub struct Engine<P: Protocol + 'static> {
     cfg: EngineConfig,
     round: Round,
-    topology: Topology,
     slots: Vec<Slot<P>>,
     factory: Box<dyn Fn(ProcessId, usize, u64) -> P>,
     metrics: Metrics,
@@ -661,12 +661,12 @@ pub struct Engine<P: Protocol + 'static> {
     injections: Vec<InjectionRecord>,
     /// Per-process round buffers (reused across rounds).
     arena: Vec<SlotBuf<P>>,
-    /// This round's merged outbox in struct-of-arrays layout (reused across
-    /// rounds; cleared, not reallocated).
-    outbox: OutboxColumns<P::Msg>,
-    /// Per-process inboxes as index lists into `outbox` (reused across
-    /// rounds) — delivery routes indices instead of moving envelopes.
-    inbox_idx: Vec<Vec<u32>>,
+    /// The in-memory delivery substrate: topology, this round's merged
+    /// columnar outbox and the per-process index-list inboxes into it. The
+    /// engine drives it through its inherent zero-copy methods; networked
+    /// deployments drive a socket transport through the same
+    /// [`RoundTransport`](crate::transport::RoundTransport) superstep.
+    mem: MemTransport<P::Msg>,
     /// The adversary's outbox-metadata view (reused across rounds).
     meta: Vec<OutboxMeta>,
     /// This round's injected inputs (reused across rounds).
@@ -707,7 +707,7 @@ impl<P: Protocol + 'static> Engine<P> {
             })
             .collect();
         Engine {
-            topology: Topology::build(cfg.topology, cfg.n, cfg.seed),
+            mem: MemTransport::new(cfg.topology, cfg.n, cfg.seed),
             cfg,
             round: Round::ZERO,
             slots,
@@ -717,8 +717,6 @@ impl<P: Protocol + 'static> Engine<P> {
             outputs: Vec::new(),
             injections: Vec::new(),
             arena: (0..cfg.n).map(|_| SlotBuf::default()).collect(),
-            outbox: OutboxColumns::new(),
-            inbox_idx: (0..cfg.n).map(|_| Vec::new()).collect(),
             meta: Vec::new(),
             inputs: Vec::new(),
         }
@@ -746,7 +744,7 @@ impl<P: Protocol + 'static> Engine<P> {
 
     /// The communication topology this engine delivers over.
     pub fn topology(&self) -> &Topology {
-        &self.topology
+        self.mem.topology()
     }
 
     /// Crash/restart history.
@@ -821,8 +819,8 @@ impl<P: Protocol + 'static> Engine<P> {
 
         // ---- Phase 4: compute. ----------------------------------------
         {
-            let outbox = &self.outbox;
-            let inbox_idx = &self.inbox_idx;
+            let outbox = self.mem.columns();
+            let inbox_idx = self.mem.inbox_lists();
             for i in 0..n {
                 run_compute_slot(
                     i,
@@ -848,12 +846,12 @@ impl<P: Protocol + 'static> Engine<P> {
     /// order.
     fn merge_send_results(&mut self) {
         // Last round's payloads die here; the columns keep their capacity.
-        self.outbox.clear();
+        self.mem.begin_round(self.round);
         for (i, buf) in self.arena.iter_mut().enumerate() {
             for (tag, size) in buf.sends.drain(..) {
                 self.metrics.record_send(tag, size);
             }
-            self.outbox.append_from(ProcessId::new(i), &mut buf.out);
+            self.mem.append_outbox(ProcessId::new(i), &mut buf.out);
             self.outputs.append(&mut buf.outputs);
         }
     }
@@ -876,8 +874,8 @@ impl<P: Protocol + 'static> Engine<P> {
         let alive_at_start: Vec<bool> =
             self.slots.iter().map(|s| s.state.is_alive()).collect();
         self.meta.clear();
-        self.meta.extend((0..self.outbox.len()).map(|i| {
-            let (src, dst, tag) = self.outbox.meta(i);
+        self.meta.extend((0..self.mem.outbox_len()).map(|i| {
+            let (src, dst, tag) = self.mem.outbox_meta(i);
             OutboxMeta { src, dst, tag }
         }));
         let view = RoundView {
@@ -925,33 +923,32 @@ impl<P: Protocol + 'static> Engine<P> {
         }
 
         // ---- Phase 3: delivery. ---------------------------------------
-        for idx in &mut self.inbox_idx {
-            idx.clear();
-        }
-        let filter_topology = !self.topology.is_complete();
-        for i in 0..self.outbox.len() {
-            let (src, dst, _tag) = self.outbox.meta(i);
-            let si = src.as_usize();
-            let di = dst.as_usize();
-            if let Some(policy) = &crash_policy[si] {
-                if !policy.allows(dst) {
-                    continue;
-                }
-            }
-            if filter_topology && !self.topology.connected(round, src, dst) {
-                self.metrics.record_topology_drop();
-                continue; // no link between src and dst this round
-            }
-            if !self.slots[di].state.is_alive() {
-                continue; // crashed receivers receive nothing
-            }
-            if let Some(policy) = &restart_policy[di] {
-                if !policy.allows(src) {
-                    continue;
-                }
-            }
-            obs.on_deliver(self.outbox.get(i, round));
-            self.inbox_idx[di].push(i as u32);
+        // The filter chain (crash sent-policy → topology → receiver alive →
+        // restart incoming-policy → observe) lives in MemTransport; the
+        // engine supplies the adversary's gates as closures over this
+        // round's decisions.
+        {
+            let slots = &self.slots;
+            let metrics = &mut self.metrics;
+            self.mem.route_with(
+                round,
+                |src, dst| match &crash_policy[src.as_usize()] {
+                    Some(policy) => policy.allows(dst),
+                    None => true,
+                },
+                |src, dst| {
+                    let di = dst.as_usize();
+                    if !slots[di].state.is_alive() {
+                        return false; // crashed receivers receive nothing
+                    }
+                    match &restart_policy[di] {
+                        Some(policy) => policy.allows(src),
+                        None => true,
+                    }
+                },
+                |env| obs.on_deliver(env),
+                || metrics.record_topology_drop(),
+            );
         }
 
         // ---- Injections (staged for the compute phase). ---------------
@@ -1090,8 +1087,8 @@ where
         {
             let slots = &mut self.slots;
             let arena = &mut self.arena;
-            let outbox = &self.outbox;
-            let inbox_idx = &self.inbox_idx;
+            let outbox = self.mem.columns();
+            let inbox_idx = self.mem.inbox_lists();
             let inputs = &mut self.inputs;
             std::thread::scope(|s| {
                 for (ci, ((slot_chunk, buf_chunk), (idx_chunk, input_chunk))) in slots

@@ -72,6 +72,7 @@ pub mod rng;
 pub mod threaded;
 pub mod topology;
 pub mod trace;
+pub mod transport;
 
 pub use clock::{BlockClock, Round};
 pub use engine::{
@@ -86,3 +87,4 @@ pub use metrics::{Metrics, RoundCounts};
 pub use process::{ProcessId, ProcessState};
 pub use topology::{Topology, TopologySpec};
 pub use trace::{TraceEvent, Tracer};
+pub use transport::{run_local_cluster, MemTransport, NodeDriver, RoundTransport};

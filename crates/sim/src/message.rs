@@ -201,6 +201,23 @@ impl<M> SendColumns<M> {
     pub fn len(&self) -> usize {
         self.payload.len()
     }
+
+    /// `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Drains the queued messages in send order as `(dst, tag, payload)`,
+    /// leaving the buffer empty with its capacity retained. This is how a
+    /// non-columnar transport (e.g. a socket runtime) consumes the send
+    /// phase's output.
+    pub fn drain(&mut self) -> impl Iterator<Item = (ProcessId, Tag, M)> + '_ {
+        self.dst
+            .drain(..)
+            .zip(self.tag.drain(..))
+            .zip(self.payload.drain(..))
+            .map(|((dst, tag), payload)| (dst, tag, payload))
+    }
 }
 
 /// A process's inbox for one round: either an index list into the round's

@@ -1,0 +1,674 @@
+//! The round-transport layer: one drive loop, pluggable delivery substrates.
+//!
+//! The lock-step engine and the networked runtime execute the *same*
+//! superstep — send this round's messages, announce the round is over, block
+//! until every peer's announcement has arrived, compute on the received
+//! inbox — but they used to own two divergent copies of that loop. This
+//! module extracts the loop behind [`RoundTransport`]:
+//!
+//! * [`MemTransport`] is the in-memory columnar-outbox substrate. The
+//!   [`Engine`](crate::Engine) drives it through inherent zero-copy methods
+//!   (append per-process send columns in pid order, route index lists); the
+//!   trait implementation layers barrier bookkeeping on top so the same
+//!   instance can also back an in-process cluster of [`NodeDriver`]s.
+//! * `TcpTransport` (in the `congos-net` crate) ships the messages over real
+//!   sockets; end-of-round markers are wire frames and the barrier blocks on
+//!   the peers' reader threads.
+//!
+//! [`NodeDriver`] owns ONE process — protocol instance, forked RNG stream,
+//! pending sends, outputs — and runs the per-node superstep generically over
+//! any transport. Determinism survives the substrate because every input to
+//! a node's state machine is transport-independent: the RNG stream is forked
+//! from `(master_seed, id, generation)`, injections are scheduled by round,
+//! and the inbox is sorted by source id before compute (within one source,
+//! both substrates preserve send order — column order in memory, stream
+//! FIFO order on a socket).
+
+use std::io;
+
+use rand::rngs::SmallRng;
+
+use crate::clock::Round;
+use crate::engine::{Context, OutputRecord, Protocol};
+use crate::message::{Envelope, EnvelopeRef, Inbox, OutboxColumns, SendColumns, Tag};
+use crate::process::ProcessId;
+use crate::rng::{fork_rng, fork_seed};
+use crate::topology::{Topology, TopologySpec};
+
+/// A delivery substrate for bulk-synchronous rounds.
+///
+/// The round contract, per node and per round `r`:
+///
+/// 1. [`send_outbox`](RoundTransport::send_outbox) — ship the node's round-`r`
+///    messages (the transport takes ownership; self-sends are looped back by
+///    the transport, not the caller).
+/// 2. [`end_of_round`](RoundTransport::end_of_round) — announce that the node
+///    will send nothing more in round `r`.
+/// 3. [`recv_until_barrier`](RoundTransport::recv_until_barrier) — block until
+///    every process's round-`r` announcement has been observed, then hand
+///    back everything delivered to this node in round `r`.
+///
+/// Implementations decide what "delivered" means (the simulator's adversary
+/// and topology filtering, a socket runtime's sender-side topology drops) but
+/// must never reorder messages of one `(src, dst)` pair.
+pub trait RoundTransport<M> {
+    /// Ships node `src`'s round-`round` sends, draining `out`.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failure (e.g. a lost peer connection).
+    fn send_outbox(
+        &mut self,
+        round: Round,
+        src: ProcessId,
+        out: &mut SendColumns<M>,
+    ) -> io::Result<()>;
+
+    /// Announces that `src` has sent everything it will send in `round`.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failure (e.g. a lost peer connection).
+    fn end_of_round(&mut self, round: Round, src: ProcessId) -> io::Result<()>;
+
+    /// Blocks until the round-`round` barrier is complete, then fills
+    /// `inbox` (cleared first) with the messages delivered to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failure: a lost peer, a barrier that can never
+    /// complete, or (for in-memory transports) a phase-discipline violation.
+    fn recv_until_barrier(
+        &mut self,
+        round: Round,
+        dst: ProcessId,
+        inbox: &mut Vec<Envelope<M>>,
+    ) -> io::Result<()>;
+}
+
+/// The in-memory delivery substrate: one round's merged outbox in columnar
+/// layout plus per-process index lists into it.
+///
+/// Two ways to drive it:
+///
+/// * **Engine path** (zero-copy): [`begin_round`](MemTransport::begin_round),
+///   [`append_outbox`](MemTransport::append_outbox) per process in pid order,
+///   [`route_with`](MemTransport::route_with) with the adversary's filters,
+///   then read inboxes through [`columns`](MemTransport::columns) +
+///   [`inbox_lists`](MemTransport::inbox_lists) without materializing
+///   envelopes. This is exactly the engine's pre-existing hot path, moved
+///   behind one type — bit-identical by construction.
+/// * **Trait path**: a set of [`NodeDriver`]s call the [`RoundTransport`]
+///   methods; the barrier counts end-of-round announcements, routing applies
+///   the topology (failure-free), and received envelopes are materialized by
+///   cloning payloads out of the columns.
+#[derive(Debug)]
+pub struct MemTransport<M> {
+    n: usize,
+    topology: Topology,
+    /// This round's merged outbox (reused across rounds; cleared, not
+    /// reallocated).
+    outbox: OutboxColumns<M>,
+    /// Per-process inboxes as index lists into `outbox` (reused across
+    /// rounds) — delivery routes indices instead of moving envelopes.
+    inbox_idx: Vec<Vec<u32>>,
+    /// The round `begin_round` opened (phase-discipline checking).
+    round: Round,
+    /// End-of-round announcements received this round (trait path).
+    eor: usize,
+    /// Whether this round's routing has run.
+    routed: bool,
+    topology_drops: u64,
+}
+
+impl<M> MemTransport<M> {
+    /// A transport for `n` processes over the topology derived from
+    /// `(spec, n, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec cannot be instantiated over `n` processes.
+    pub fn new(spec: TopologySpec, n: usize, seed: u64) -> Self {
+        MemTransport {
+            n,
+            topology: Topology::build(spec, n, seed),
+            outbox: OutboxColumns::new(),
+            inbox_idx: (0..n).map(|_| Vec::new()).collect(),
+            round: Round::ZERO,
+            eor: 0,
+            routed: false,
+            topology_drops: 0,
+        }
+    }
+
+    /// The topology messages are delivered over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Messages dropped because the topology had no link that round.
+    pub fn topology_drops(&self) -> u64 {
+        self.topology_drops
+    }
+
+    /// Opens round `round`: drops last round's messages (keeping column
+    /// capacities) and resets the barrier.
+    pub fn begin_round(&mut self, round: Round) {
+        self.outbox.clear();
+        for idx in &mut self.inbox_idx {
+            idx.clear();
+        }
+        self.round = round;
+        self.eor = 0;
+        self.routed = false;
+    }
+
+    /// Appends every message of `buf` (all sent by `src`) onto the round
+    /// outbox, leaving `buf` empty. Callers append in pid order; the outbox
+    /// is then src-major, which is what makes index-list inboxes arrive
+    /// sorted by source.
+    pub fn append_outbox(&mut self, src: ProcessId, buf: &mut SendColumns<M>) {
+        self.outbox.append_from(src, buf);
+    }
+
+    /// Number of messages queued this round.
+    pub fn outbox_len(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Routing metadata of queued message `i`.
+    pub fn outbox_meta(&self, i: usize) -> (ProcessId, ProcessId, Tag) {
+        self.outbox.meta(i)
+    }
+
+    /// The round's merged outbox columns (for zero-copy columnar inboxes).
+    pub fn columns(&self) -> &OutboxColumns<M> {
+        &self.outbox
+    }
+
+    /// The routed per-process index lists into [`columns`](Self::columns).
+    pub fn inbox_lists(&self) -> &[Vec<u32>] {
+        &self.inbox_idx
+    }
+
+    /// Routes this round's outbox into the per-process index lists, in
+    /// outbox order, with the engine's delivery-phase filter chain:
+    ///
+    /// 1. `sender_gate(src, dst)` — the crash sent-policy (pre-topology);
+    /// 2. the topology (absent link ⇒ `on_topology_drop`, skipped entirely
+    ///    on a complete topology);
+    /// 3. `receiver_gate(src, dst)` — receiver liveness and the restart
+    ///    incoming-policy;
+    /// 4. `on_deliver` observes each surviving envelope in delivery order.
+    ///
+    /// The filter order is load-bearing: it is the engine's historical
+    /// order, pinned by the golden trace digests.
+    pub fn route_with(
+        &mut self,
+        round: Round,
+        mut sender_gate: impl FnMut(ProcessId, ProcessId) -> bool,
+        mut receiver_gate: impl FnMut(ProcessId, ProcessId) -> bool,
+        mut on_deliver: impl FnMut(EnvelopeRef<'_, M>),
+        mut on_topology_drop: impl FnMut(),
+    ) {
+        for idx in &mut self.inbox_idx {
+            idx.clear();
+        }
+        let mut drops = 0u64;
+        let filter_topology = !self.topology.is_complete();
+        for i in 0..self.outbox.len() {
+            let (src, dst, _tag) = self.outbox.meta(i);
+            if !sender_gate(src, dst) {
+                continue;
+            }
+            if filter_topology && !self.topology.connected(round, src, dst) {
+                drops += 1;
+                on_topology_drop();
+                continue; // no link between src and dst this round
+            }
+            if !receiver_gate(src, dst) {
+                continue;
+            }
+            on_deliver(self.outbox.get(i, round));
+            self.inbox_idx[dst.as_usize()].push(i as u32);
+        }
+        self.topology_drops += drops;
+        self.routed = true;
+    }
+}
+
+impl<M: Clone> RoundTransport<M> for MemTransport<M> {
+    fn send_outbox(
+        &mut self,
+        round: Round,
+        src: ProcessId,
+        out: &mut SendColumns<M>,
+    ) -> io::Result<()> {
+        if round != self.round {
+            return Err(phase_error(format!(
+                "send for {round} but the open round is {} (call begin_round)",
+                self.round
+            )));
+        }
+        self.append_outbox(src, out);
+        Ok(())
+    }
+
+    fn end_of_round(&mut self, round: Round, _src: ProcessId) -> io::Result<()> {
+        if round != self.round {
+            return Err(phase_error(format!(
+                "end-of-round for {round} but the open round is {}",
+                self.round
+            )));
+        }
+        self.eor += 1;
+        Ok(())
+    }
+
+    fn recv_until_barrier(
+        &mut self,
+        round: Round,
+        dst: ProcessId,
+        inbox: &mut Vec<Envelope<M>>,
+    ) -> io::Result<()> {
+        if round != self.round {
+            return Err(phase_error(format!(
+                "receive for {round} but the open round is {}",
+                self.round
+            )));
+        }
+        if self.eor < self.n {
+            // An in-memory "block" would deadlock: the caller is the only
+            // thread, so the missing announcements can never arrive.
+            return Err(phase_error(format!(
+                "{round} barrier incomplete: {}/{} end-of-round announcements \
+                 (drive every node's send phase before receiving)",
+                self.eor, self.n
+            )));
+        }
+        if !self.routed {
+            // Failure-free routing: topology only, no adversary gates.
+            self.route_with(round, |_, _| true, |_, _| true, |_| (), || ());
+        }
+        inbox.clear();
+        for &i in &self.inbox_idx[dst.as_usize()] {
+            inbox.push(self.outbox.get(i as usize, round).to_envelope());
+        }
+        Ok(())
+    }
+}
+
+fn phase_error(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::WouldBlock, msg)
+}
+
+/// One process of a transport-backed deployment: the protocol instance, its
+/// forked RNG stream, pending sends and produced outputs, plus the per-node
+/// superstep loop — the drive logic that used to be duplicated between the
+/// engine and the TCP runtime.
+pub struct NodeDriver<P: Protocol> {
+    id: ProcessId,
+    n: usize,
+    round: Round,
+    proto: P,
+    rng: SmallRng,
+    /// Messages queued by the protocol (compute-phase sends carry over to
+    /// the next round's send phase, exactly like an engine slot).
+    pending: Vec<(ProcessId, P::Msg, Tag)>,
+    /// Send-phase staging buffer (reused across rounds).
+    out: SendColumns<P::Msg>,
+    /// Receive buffer (reused across rounds).
+    inbox: Vec<Envelope<P::Msg>>,
+    outputs: Vec<OutputRecord<P::Output>>,
+}
+
+impl<P: Protocol> NodeDriver<P> {
+    /// A driver for process `id` of `n`, with the protocol default-built
+    /// from the same forked seed the engine would use — a networked node and
+    /// a simulated process with equal `(master_seed, id)` are bit-identical.
+    pub fn new(id: ProcessId, n: usize, master_seed: u64) -> Self {
+        Self::with_factory(id, n, master_seed, P::new)
+    }
+
+    /// A driver whose protocol instance is built by `factory` (for
+    /// configured deployments). The factory receives the same forked
+    /// per-process seed as [`new`](Self::new).
+    pub fn with_factory(
+        id: ProcessId,
+        n: usize,
+        master_seed: u64,
+        factory: impl FnOnce(ProcessId, usize, u64) -> P,
+    ) -> Self {
+        let mut proto = factory(id, n, fork_seed(master_seed, id, 0));
+        proto.on_start(Round::ZERO);
+        NodeDriver {
+            id,
+            n,
+            round: Round::ZERO,
+            proto,
+            rng: fork_rng(master_seed, id, 0),
+            pending: Vec::new(),
+            out: SendColumns::default(),
+            inbox: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// This driver's process id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The round about to execute.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Outputs produced so far.
+    pub fn outputs(&self) -> &[OutputRecord<P::Output>] {
+        &self.outputs
+    }
+
+    /// Consumes the driver, returning the full output log.
+    pub fn into_outputs(self) -> Vec<OutputRecord<P::Output>> {
+        self.outputs
+    }
+
+    /// Read access to the protocol state (white-box test assertions).
+    pub fn protocol(&self) -> &P {
+        &self.proto
+    }
+
+    /// Runs the current round's send phase: the protocol queues messages,
+    /// which are shipped through the transport, followed by the end-of-round
+    /// announcement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send_phase<T: RoundTransport<P::Msg>>(&mut self, transport: &mut T) -> io::Result<()> {
+        let round = self.round;
+        {
+            let mut ctx = Context::<P>::for_runtime(
+                self.id,
+                self.n,
+                round,
+                &mut self.rng,
+                &mut self.pending,
+                &mut self.outputs,
+            );
+            self.proto.send(&mut ctx);
+        }
+        for (dst, payload, tag) in self.pending.drain(..) {
+            self.out.push(dst, tag, payload);
+        }
+        transport.send_outbox(round, self.id, &mut self.out)?;
+        transport.end_of_round(round, self.id)
+    }
+
+    /// Runs the current round's barrier + compute phase: blocks on the
+    /// transport until every peer's round is over, sorts the inbox by source
+    /// (the engine's pid-ordered delivery order), feeds it to the protocol
+    /// together with any injected `input`, and advances the round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn compute_phase<T: RoundTransport<P::Msg>>(
+        &mut self,
+        transport: &mut T,
+        input: Option<P::Input>,
+    ) -> io::Result<()> {
+        let round = self.round;
+        transport.recv_until_barrier(round, self.id, &mut self.inbox)?;
+        // Stable by source: equals the engine's src-major outbox order, since
+        // both substrates preserve per-source send order.
+        self.inbox.sort_by_key(|e| e.src);
+        {
+            let mut ctx = Context::<P>::for_runtime(
+                self.id,
+                self.n,
+                round,
+                &mut self.rng,
+                &mut self.pending,
+                &mut self.outputs,
+            );
+            self.proto
+                .receive(&mut ctx, Inbox::from_slice(&self.inbox), input);
+        }
+        self.round = round.next();
+        Ok(())
+    }
+
+    /// Runs `rounds` full rounds over a transport this node owns (each node
+    /// of a socket cluster has its own), injecting `injections` as
+    /// `(round, input)` pairs (at most one per round — the model's rule).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn run_rounds<T: RoundTransport<P::Msg>>(
+        &mut self,
+        transport: &mut T,
+        rounds: u64,
+        mut injections: Vec<(u64, P::Input)>,
+    ) -> io::Result<()> {
+        injections.sort_by_key(|(r, _)| *r);
+        for _ in 0..rounds {
+            self.send_phase(transport)?;
+            let r = self.round.as_u64();
+            let input = match injections.first() {
+                Some((due, _)) if *due == r => Some(injections.remove(0).1),
+                _ => None,
+            };
+            self.compute_phase(transport, input)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs an in-process, failure-free cluster of [`NodeDriver`]s over one
+/// shared [`MemTransport`], phase-interleaved like the engine (all sends,
+/// then all computes). Returns every output, ordered by `(round, process)`.
+///
+/// This is the reference composition of driver + transport: the
+/// differential suite pins it against both the engine and the socket
+/// runtime.
+///
+/// # Errors
+///
+/// Propagates transport failures (none occur under correct interleaving).
+///
+/// # Panics
+///
+/// Panics if the topology cannot be instantiated over `n` processes.
+pub fn run_local_cluster<P>(
+    n: usize,
+    seed: u64,
+    topology: TopologySpec,
+    rounds: u64,
+    injections: Vec<(u64, ProcessId, P::Input)>,
+) -> io::Result<Vec<OutputRecord<P::Output>>>
+where
+    P: Protocol,
+    P::Msg: Clone,
+{
+    let mut mem = MemTransport::<P::Msg>::new(topology, n, seed);
+    let mut drivers: Vec<NodeDriver<P>> = (0..n)
+        .map(|i| NodeDriver::new(ProcessId::new(i), n, seed))
+        .collect();
+    let mut per_node: Vec<Vec<(u64, P::Input)>> = (0..n).map(|_| Vec::new()).collect();
+    for (round, pid, input) in injections {
+        per_node[pid.as_usize()].push((round, input));
+    }
+    for inj in &mut per_node {
+        inj.sort_by_key(|(r, _)| *r);
+    }
+
+    for r in 0..rounds {
+        mem.begin_round(Round(r));
+        for d in drivers.iter_mut() {
+            d.send_phase(&mut mem)?;
+        }
+        for (d, inj) in drivers.iter_mut().zip(per_node.iter_mut()) {
+            let input = match inj.first() {
+                Some((due, _)) if *due == r => Some(inj.remove(0).1),
+                _ => None,
+            };
+            d.compute_phase(&mut mem, input)?;
+        }
+    }
+
+    let mut outs: Vec<OutputRecord<P::Output>> = drivers
+        .into_iter()
+        .flat_map(NodeDriver::into_outputs)
+        .collect();
+    outs.sort_by_key(|o| (o.round, o.process));
+    Ok(outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig, NullAdversary};
+    use rand::Rng;
+
+    /// Every process sends a seeded random token to its successor and to
+    /// itself each round; receivers report `(src, token)`. Exercises RNG
+    /// forking, self-send loopback and multi-source inbox ordering.
+    struct Echo;
+
+    impl Protocol for Echo {
+        type Msg = u64;
+        type Input = u64;
+        type Output = (ProcessId, u64);
+
+        fn new(_id: ProcessId, _n: usize, _seed: u64) -> Self {
+            Echo
+        }
+        fn send(&mut self, ctx: &mut Context<'_, Self>) {
+            let next = ProcessId::new((ctx.id().as_usize() + 1) % ctx.n());
+            let token = ctx.rng().gen::<u64>();
+            ctx.send(next, token, Tag("echo"));
+            ctx.send(ctx.id(), token ^ 1, Tag("self"));
+        }
+        fn receive(
+            &mut self,
+            ctx: &mut Context<'_, Self>,
+            inbox: Inbox<'_, u64>,
+            input: Option<u64>,
+        ) {
+            for env in inbox {
+                ctx.output((env.src, *env.payload));
+            }
+            if let Some(v) = input {
+                ctx.output((ctx.id(), v + 1_000_000));
+            }
+        }
+    }
+
+    fn engine_outputs(
+        n: usize,
+        seed: u64,
+        topology: TopologySpec,
+        rounds: u64,
+        injections: &[(u64, ProcessId, u64)],
+    ) -> Vec<OutputRecord<(ProcessId, u64)>> {
+        use crate::engine::{Adversary, RoundDecision, RoundView};
+        struct Inject {
+            schedule: Vec<(u64, ProcessId, u64)>,
+        }
+        impl Adversary<Echo> for Inject {
+            fn decide(&mut self, view: &RoundView<'_>) -> RoundDecision<u64> {
+                let r = view.round.as_u64();
+                let mut d = RoundDecision::none();
+                self.schedule.retain(|(due, p, v)| {
+                    if *due == r {
+                        d.injections.push((*p, *v));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                d
+            }
+        }
+        let mut e = Engine::<Echo>::new(EngineConfig::new(n).seed(seed).topology(topology));
+        e.run(
+            rounds,
+            &mut Inject {
+                schedule: injections.to_vec(),
+            },
+        );
+        let mut outs = e.into_outputs();
+        outs.sort_by_key(|o| (o.round, o.process));
+        outs
+    }
+
+    #[test]
+    fn local_cluster_matches_engine_exactly() {
+        let injections = vec![
+            (0, ProcessId::new(0), 7u64),
+            (2, ProcessId::new(3), 9u64),
+            (5, ProcessId::new(1), 11u64),
+        ];
+        for (seed, topology) in [
+            (1u64, TopologySpec::Complete),
+            (2, TopologySpec::Complete),
+            (3, TopologySpec::Expander { degree: 4 }),
+        ] {
+            let sim = engine_outputs(6, seed, topology, 8, &injections);
+            let local = run_local_cluster::<Echo>(6, seed, topology, 8, injections.clone())
+                .expect("local cluster");
+            assert_eq!(sim, local, "seed {seed} topology {topology} diverged");
+            assert!(!sim.is_empty());
+        }
+    }
+
+    #[test]
+    fn mem_transport_counts_topology_drops() {
+        let spec = TopologySpec::Expander { degree: 2 };
+        let outs =
+            run_local_cluster::<Echo>(8, 5, spec, 4, vec![]).expect("cluster");
+        // On a 2-regular graph most successor links are absent some rounds?
+        // No churn here: the edge set is static, so either the ring matches
+        // the expander edges or tokens are dropped — outputs still flow via
+        // self-sends.
+        assert!(outs.iter().any(|o| o.value.1 & 1 == 1), "self-sends loop back");
+    }
+
+    #[test]
+    fn premature_receive_is_a_clean_error() {
+        let mut mem = MemTransport::<u64>::new(TopologySpec::Complete, 2, 0);
+        mem.begin_round(Round(0));
+        let mut d = NodeDriver::<Echo>::new(ProcessId::new(0), 2, 0);
+        d.send_phase(&mut mem).expect("send");
+        // Node 1 has not sent: the barrier cannot complete on one thread.
+        let err = d.compute_phase(&mut mem, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(err.to_string().contains("barrier incomplete"), "{err}");
+    }
+
+    #[test]
+    fn wrong_round_is_a_clean_error() {
+        let mut mem = MemTransport::<u64>::new(TopologySpec::Complete, 1, 0);
+        mem.begin_round(Round(3));
+        let mut out = SendColumns::default();
+        let err = mem
+            .send_outbox(Round(0), ProcessId::new(0), &mut out)
+            .unwrap_err();
+        assert!(err.to_string().contains("open round"), "{err}");
+    }
+
+    #[test]
+    fn driver_restart_free_run_matches_engine_under_null_adversary() {
+        // Sanity on the plain engine entry point too (no injections).
+        let mut e = Engine::<Echo>::new(EngineConfig::new(4).seed(8));
+        e.run(5, &mut NullAdversary);
+        let mut sim = e.into_outputs();
+        sim.sort_by_key(|o| (o.round, o.process));
+        let local = run_local_cluster::<Echo>(4, 8, TopologySpec::Complete, 5, vec![])
+            .expect("local cluster");
+        assert_eq!(sim, local);
+    }
+}

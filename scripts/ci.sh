@@ -10,6 +10,13 @@
 #   scripts/ci.sh mem        # memory target only: fragstore proptests and
 #                            #        the exp_e3_mem small-n smoke sweep
 #                            #        under a hard peak-RSS budget
+#   scripts/ci.sh net        # network target only: TCP-vs-simulator
+#                            #        loopback differential suite plus the
+#                            #        congos-net package tests (codec
+#                            #        corruption proptests, transport tests)
+#   scripts/ci.sh loadtest   # quick congos-loadtest gate: a small loopback
+#                            #        run must deliver something and emit a
+#                            #        report with latency percentiles
 #   scripts/ci.sh bench      # tier1 + the backend-scaling smoke bench
 #                            #        (results land in BENCH_*.json)
 #   scripts/ci.sh full       # tier1 + bench + the full workspace test suite
@@ -46,6 +53,31 @@ run_mem() {
         --json target/BENCH_memory_smoke.json --budget-mib 1024 >/dev/null
 }
 
+run_net() {
+    echo "==> net: TCP-vs-simulator loopback differential suite"
+    cargo test -q --test net_differential
+    echo "==> net: congos-net package tests (codec proptests, transport)"
+    cargo test -q -p congos-net
+}
+
+run_loadtest() {
+    echo "==> loadtest: small loopback run, percentile report gate"
+    # Scratch output path so the quick gate cannot clobber the committed
+    # full-config crates/bench/BENCH_net_loadtest.json (regenerate that by
+    # running congos-loadtest with defaults from the repo root).
+    out=target/BENCH_net_loadtest_smoke.json
+    cargo run --release -q -p congos-harness --bin congos-loadtest -- \
+        --n 4 --base-port 20980 --rounds 40 --deadline 16 --duration 8 \
+        --rate 2 --out "$out" >/dev/null
+    for key in '"p50"' '"p99"' '"delivered_pairs"'; do
+        grep -q "$key" "$out" || {
+            echo "loadtest report $out is missing $key" >&2
+            exit 1
+        }
+    done
+    echo "    wrote $out (p50/p99 present)"
+}
+
 if [ "$target" = "topo" ]; then
     run_topo
     echo "==> ci: OK (topo)"
@@ -55,6 +87,18 @@ fi
 if [ "$target" = "mem" ]; then
     run_mem
     echo "==> ci: OK (mem)"
+    exit 0
+fi
+
+if [ "$target" = "net" ]; then
+    run_net
+    echo "==> ci: OK (net)"
+    exit 0
+fi
+
+if [ "$target" = "loadtest" ]; then
+    run_loadtest
+    echo "==> ci: OK (loadtest)"
     exit 0
 fi
 
@@ -72,6 +116,8 @@ CONGOS_BACKEND=par:8 cargo test -q --test differential
 
 run_topo
 run_mem
+run_net
+run_loadtest
 
 if [ "$target" = "bench" ] || [ "$target" = "full" ]; then
     echo "==> bench: backend_scaling smoke (e3_congos_poisson at n=1024)"
