@@ -16,6 +16,12 @@
 //! [`CrriAdversary`] glues a failure plan and an injection plan into a
 //! [`congos_sim::Adversary`] for any protocol whose input can be built from a
 //! [`RumorSpec`].
+//!
+//! Orthogonal to CRRI, the [`predict`] module family implements a *passive
+//! observing coalition* — a source-prediction adversary that records
+//! delivery metadata through an RNG-neutral engine tap and runs
+//! first-contact / maximum-likelihood source estimators over it (the E13
+//! anonymity experiments).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,9 +29,14 @@
 pub mod collusion;
 pub mod failures;
 pub mod plan;
+pub mod predict;
 pub mod workload;
 
 pub use collusion::pick_colluders;
+pub use predict::{
+    first_contact_posterior, AttackScore, CoalitionSpec, CoalitionTap, EstimatorCtx, MlEstimator,
+    Sighting, SightingLog,
+};
 pub use failures::{Eclipse, GroupAnnihilator, NoFailures, ProxyKiller, RandomChurn, RollingWaves, ScheduledChurn};
 pub use plan::{CrriAdversary, FailurePlan, InjectionPlan};
 pub use workload::{

@@ -1,0 +1,187 @@
+//! Property-based tests of the source-prediction subsystem (`predict`),
+//! on synthetic traces where ground truth is known by construction.
+//!
+//! The headline property is *coalition monotonicity*: on traces where only
+//! the source transmits (direct-unicast-style), a larger coalition can
+//! never identify the source with lower probability than any of its
+//! subsets — more observers means more sightings of the same truthful
+//! sender, never contradictory evidence. On multi-hop traces the weaker
+//! (but still universal) property holds: the estimated first-contact round
+//! is monotone non-increasing in the coalition.
+
+use congos_adversary::predict::{
+    first_contact_posterior, CoalitionTap, EstimatorCtx, MlEstimator, Sighting, SightingLog,
+};
+use congos_sim::{ProcessId, Round, Tag, Topology, TopologySpec};
+use proptest::prelude::*;
+
+/// A tag interned for the tests (Tag carries a `&'static str`).
+const TAG: Tag = Tag("rumor");
+
+/// Builds two nested coalitions (subset ⊆ superset) from index sets,
+/// excluding `source`, and returns their member lists.
+fn nested_coalitions(
+    n: usize,
+    source: ProcessId,
+    picks: &[usize],
+    extra: &[usize],
+) -> (Vec<ProcessId>, Vec<ProcessId>) {
+    let clean = |ids: &[usize]| -> Vec<ProcessId> {
+        let mut v: Vec<ProcessId> = ids
+            .iter()
+            .map(|i| ProcessId::new(i % n))
+            .filter(|p| *p != source)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let subset = clean(picks);
+    let mut superset = subset.clone();
+    superset.extend(clean(extra));
+    superset.sort_unstable();
+    superset.dedup();
+    (subset, superset)
+}
+
+/// Filters a delivery trace through a coalition tap.
+fn observe(
+    n: usize,
+    members: &[ProcessId],
+    deliveries: &[(Round, ProcessId, ProcessId)],
+) -> SightingLog {
+    let mut tap = CoalitionTap::new(n, members);
+    for &(round, src, dst) in deliveries {
+        tap.record_delivery(round, src, dst, TAG);
+    }
+    tap.into_log()
+}
+
+proptest! {
+    /// Direct-unicast-style traces: only the source ever sends. Growing the
+    /// coalition can only add sightings of the (truthful) source, so the
+    /// first-contact identification credit never decreases.
+    #[test]
+    fn superset_coalition_never_identifies_worse_on_source_only_traces(
+        n in 6usize..32,
+        source_ix in 0usize..32,
+        sends in prop::collection::vec((0u64..24, 0usize..32), 1..40),
+        picks in prop::collection::vec(0usize..32, 1..6),
+        extra in prop::collection::vec(0usize..32, 0..8),
+    ) {
+        let source = ProcessId::new(source_ix % n);
+        let deliveries: Vec<(Round, ProcessId, ProcessId)> = sends
+            .iter()
+            .map(|&(r, d)| (Round(r), source, ProcessId::new(d % n)))
+            .filter(|&(_, s, d)| s != d)
+            .collect();
+        let (subset, superset) = nested_coalitions(n, source, &picks, &extra);
+        // Same candidate pool for both evaluations (everyone outside the
+        // *larger* coalition), so the comparison is purely informational.
+        let candidates: Vec<ProcessId> = ProcessId::all(n)
+            .filter(|p| !superset.contains(p))
+            .collect();
+        prop_assume!(candidates.contains(&source));
+
+        let credit = |members: &[ProcessId]| {
+            let log = observe(n, members, &deliveries);
+            let posterior = first_contact_posterior(&EstimatorCtx {
+                log: &log,
+                candidates: &candidates,
+                injected_at: Round(0),
+                tags: &["rumor"],
+            });
+            let si = candidates.iter().position(|c| *c == source).unwrap();
+            posterior[si]
+        };
+        let small = credit(&subset);
+        let large = credit(&superset);
+        prop_assert!(
+            large >= small - 1e-12,
+            "superset posterior mass on source dropped: {small} -> {large}"
+        );
+    }
+
+    /// Multi-hop truthful spread: every sighting a subset coalition records
+    /// is also recorded by the superset, so the estimated first-contact
+    /// round never moves later as the coalition grows.
+    #[test]
+    fn first_contact_round_is_monotone_in_the_coalition(
+        n in 6usize..32,
+        deliveries_raw in prop::collection::vec((0u64..32, 0usize..32, 0usize..32), 1..80),
+        picks in prop::collection::vec(0usize..32, 1..6),
+        extra in prop::collection::vec(0usize..32, 0..8),
+    ) {
+        let deliveries: Vec<(Round, ProcessId, ProcessId)> = deliveries_raw
+            .iter()
+            .map(|&(r, s, d)| (Round(r), ProcessId::new(s % n), ProcessId::new(d % n)))
+            .filter(|&(_, s, d)| s != d)
+            .collect();
+        let (subset, superset) =
+            nested_coalitions(n, ProcessId::new(n), &picks, &extra); // n = no exclusion
+        let first_round = |members: &[ProcessId]| -> Option<Round> {
+            observe(n, members, &deliveries)
+                .first_per_sender(&["rumor"], Round(0))
+                .into_iter()
+                .flatten()
+                .min()
+        };
+        let small = first_round(&subset);
+        let large = first_round(&superset);
+        match (small, large) {
+            (Some(a), Some(b)) => prop_assert!(b <= a, "first contact moved later: {a:?} -> {b:?}"),
+            (Some(_), None) => prop_assert!(false, "superset lost the subset's sightings"),
+            _ => {}
+        }
+    }
+
+    /// Both estimators always return a probability distribution over the
+    /// candidate set, whatever the log contains.
+    #[test]
+    fn posteriors_are_distributions(
+        n in 4usize..24,
+        degree in 2usize..4,
+        seed in 0u64..1000,
+        raw in prop::collection::vec((0u64..32, 0usize..24, 0usize..24), 0..60),
+        coalition_ix in prop::collection::vec(0usize..24, 1..5),
+    ) {
+        let mut log = SightingLog::new(n);
+        for &(r, s, d) in &raw {
+            let (s, d) = (ProcessId::new(s % n), ProcessId::new(d % n));
+            if s != d {
+                log.record(Sighting { round: Round(r), observer: d, sender: s, tag: TAG });
+            }
+        }
+        let mut members: Vec<ProcessId> =
+            coalition_ix.iter().map(|i| ProcessId::new(i % n)).collect();
+        members.sort_unstable();
+        members.dedup();
+        let candidates: Vec<ProcessId> = ProcessId::all(n)
+            .filter(|p| !members.contains(p))
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let ctx = EstimatorCtx {
+            log: &log,
+            candidates: &candidates,
+            injected_at: Round(0),
+            tags: &["rumor"],
+        };
+        // n·degree must be even for a d-regular graph to exist.
+        let degree = if n * degree % 2 == 0 { degree } else { degree + 1 };
+        let spec = if degree < n {
+            TopologySpec::Expander { degree }
+        } else {
+            TopologySpec::Complete
+        };
+        let topology = Topology::build(spec, n, seed);
+        for posterior in [
+            first_contact_posterior(&ctx),
+            MlEstimator::default().posterior(&ctx, &topology),
+        ] {
+            prop_assert_eq!(posterior.len(), candidates.len());
+            prop_assert!(posterior.iter().all(|p| *p >= 0.0));
+            let total: f64 = posterior.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "sums to {total}");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates experiment E13 (see EXPERIMENTS.md): source-identification
+//! probability, top-k accuracy and DP-style ε vs coalition size, topology
+//! and protocol — the "who started this rumor?" adversary.
+//!
+//! Flags: `--full` for the larger sweep (`--quick` is the accepted default),
+//! `--csv` for machine-readable output, `--backend <seq|par[:N]>` for the
+//! execution backend, `--json <path>` to override where the
+//! `BENCH_anonymity.json` row set is written (default
+//! `crates/bench/BENCH_anonymity.json`, skipped if the directory is absent).
+//!
+//! Like E14 there is no `--topology` flag: the topology is a swept axis
+//! (complete, expander:4, churn). The run asserts the headline gate —
+//! CONGOS strictly below direct unicast at coalition fraction 10% on
+//! expander:4 — so a leak regression fails the binary, not just a table.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    congos_harness::init_backend_from_args(&args);
+    let full = args.iter().any(|a| a == "--full");
+    let csv = args.iter().any(|a| a == "--csv");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let tables = congos_harness::experiments::e13_anonymity::run(full);
+    for table in &tables {
+        if csv {
+            println!("# {}", table.title());
+            print!("{}", table.to_csv());
+        } else {
+            table.print();
+        }
+    }
+
+    let doc = congos_harness::experiments::e13_anonymity::bench_json(&tables);
+    let path = json_path.unwrap_or_else(|| "crates/bench/BENCH_anonymity.json".to_string());
+    let parent_exists = std::path::Path::new(&path)
+        .parent()
+        .map(|p| p.as_os_str().is_empty() || p.is_dir())
+        .unwrap_or(true);
+    if parent_exists {
+        match std::fs::write(&path, doc.to_string_pretty() + "\n") {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    } else {
+        eprintln!("skipping {path}: parent directory missing (run from the repo root to emit it)");
+    }
+
+    congos_harness::mem::print_process_summary("exp_e13_anonymity");
+}

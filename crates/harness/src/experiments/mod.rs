@@ -3,6 +3,7 @@
 pub mod e10_metadata_hiding;
 pub mod e11_communication;
 pub mod e12_adaptivity;
+pub mod e13_anonymity;
 pub mod e14_topology;
 pub mod e1_strong_confidentiality;
 pub mod e2_correctness;
@@ -35,6 +36,7 @@ pub fn run_all(full: bool) -> Vec<Table> {
         e10_metadata_hiding::run,
         e11_communication::run,
         e12_adaptivity::run,
+        e13_anonymity::run,
         e14_topology::run,
     ];
     let mut results: Vec<Vec<Table>> = Vec::new();

@@ -19,6 +19,7 @@
 //! | E10 | Section 7 — metadata-hiding costs |
 //! | E11 | Section 7 — communication complexity in bytes |
 //! | E12 | Section 7 — adaptive vs oblivious adversary power |
+//! | E13 | Source anonymity — who started this rumor, and can CONGOS hide it? |
 //! | E14 | Beyond the complete graph — QoD/complexity vs topology |
 //!
 //! Run any experiment with `cargo run --release -p congos-harness --bin
@@ -50,7 +51,7 @@ pub use netrun::{assert_failure_free, materialize_injections, NetRunReport, NetS
 pub use run::{
     default_backend, default_net, default_topology, init_backend_from_args,
     init_topology_from_args, run, run_with_factory, set_default_backend, set_default_net,
-    set_default_topology, DeliveryRecord, Logged, QodSummary, RunOutcome, RunSpec,
+    set_default_topology, DeliveryRecord, Logged, QodSummary, RunOutcome, RunSpec, TapSpec,
     DEFAULT_NET_PORT,
 };
 pub use stats::{fit_power_law, percentile};

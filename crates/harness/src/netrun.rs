@@ -85,6 +85,9 @@ pub struct NetRunReport {
     pub messages: u64,
     /// Outbound messages dropped by the topology gate.
     pub topology_drops: u64,
+    /// Observing-coalition sightings `(round, observer, sender, tag)` from
+    /// the watched nodes (empty when no coalition was attached).
+    pub sightings: Vec<(Round, ProcessId, ProcessId, congos_sim::Tag)>,
 }
 
 /// Socket-level counters of a networked run, attached to

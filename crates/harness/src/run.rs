@@ -1,5 +1,6 @@
 //! Generic experiment runner with Quality-of-Delivery accounting.
 
+use congos_adversary::predict::{CoalitionSpec, CoalitionTap, Sighting, SightingLog};
 use congos_adversary::{
     CrriAdversary, FailurePlan, InjectionLogEntry, InjectionPlan, OneShot, PoissonWorkload,
     RumorSpec, StableGroupWorkload, Theorem1Workload,
@@ -63,6 +64,31 @@ pub struct RunSpec {
     /// an oblivious workload (see [`crate::netrun`]); only protocols with a
     /// wire codec support it ([`GossipSystem::net_run`]).
     pub net: Option<u16>,
+    /// When `Some`, an observing coalition (the E13 source-prediction
+    /// adversary) is attached to the run: its members record delivery
+    /// metadata into [`RunOutcome::tap`]. The tap is an RNG-neutral
+    /// observer on the engine path and an inbox-metadata recorder on the
+    /// networked path; either way the measured execution is bit-identical
+    /// to an untapped run.
+    pub tap: Option<TapSpec>,
+}
+
+/// An observing coalition attached to a run (see [`RunSpec::tap`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TapSpec {
+    /// Who observes: the deterministic coalition draw.
+    pub coalition: CoalitionSpec,
+    /// A process the coalition must not contain — normally the trial's
+    /// rumor source (the adversary is *looking for* the source, so the
+    /// source is not one of its observers).
+    pub exclude: Option<ProcessId>,
+}
+
+impl TapSpec {
+    /// The coalition members this spec resolves to for `n` processes.
+    pub fn members(&self, n: usize) -> Vec<ProcessId> {
+        self.coalition.members(n, self.exclude)
+    }
 }
 
 impl RunSpec {
@@ -78,6 +104,7 @@ impl RunSpec {
             topology: default_topology(),
             probe_mem: true,
             net: default_net(),
+            tap: None,
         }
     }
 
@@ -104,6 +131,12 @@ impl RunSpec {
     /// (see [`RunSpec::net`]).
     pub fn net(mut self, base_port: u16) -> Self {
         self.net = Some(base_port);
+        self
+    }
+
+    /// Attaches an observing coalition (see [`RunSpec::tap`]).
+    pub fn tap(mut self, tap: TapSpec) -> Self {
+        self.tap = Some(tap);
         self
     }
 }
@@ -322,6 +355,9 @@ pub struct RunOutcome {
     /// backend (`None` for in-process engine runs, whose per-round,
     /// per-tag accounting lives in [`RunOutcome::metrics`] instead).
     pub net: Option<crate::netrun::NetStats>,
+    /// The observing coalition's sighting log when [`RunSpec::tap`] was
+    /// set (`None` otherwise).
+    pub tap: Option<SightingLog>,
 }
 
 impl RunOutcome {
@@ -383,13 +419,19 @@ where
         factory,
     );
     let mut adv = CrriAdversary::new(failures, workload);
+    let mut tap = spec
+        .tap
+        .map(|t| CoalitionTap::new(spec.n, &t.members(spec.n)));
     let mem_before = if spec.probe_mem {
         crate::mem::MemSample::now()
     } else {
         crate::mem::MemSample::default()
     };
     let t0 = std::time::Instant::now();
-    engine.run_backend(spec.backend, spec.rounds, &mut adv);
+    match &mut tap {
+        Some(tap) => engine.run_observed_backend(spec.backend, spec.rounds, &mut adv, tap),
+        None => engine.run_backend(spec.backend, spec.rounds, &mut adv),
+    }
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let mem = crate::mem::MemUsage {
         before: mem_before,
@@ -455,6 +497,7 @@ where
         latencies,
         mem,
         net: None,
+        tap: tap.map(CoalitionTap::into_log),
     }
 }
 
@@ -479,6 +522,10 @@ where
     } else {
         crate::mem::MemSample::default()
     };
+    let watch: Vec<ProcessId> = spec
+        .tap
+        .map(|t| t.members(spec.n))
+        .unwrap_or_default();
     let t0 = std::time::Instant::now();
     let report = P::net_run(
         spec.n,
@@ -487,6 +534,7 @@ where
         spec.topology,
         base_port,
         schedule,
+        watch,
     )
     .unwrap_or_else(|| {
         panic!(
@@ -562,6 +610,18 @@ where
         net: Some(crate::netrun::NetStats {
             messages: report.messages,
             topology_drops: report.topology_drops,
+        }),
+        tap: spec.tap.map(|_| {
+            let mut log = SightingLog::new(spec.n);
+            for &(round, observer, sender, tag) in &report.sightings {
+                log.record(Sighting {
+                    round,
+                    observer,
+                    sender,
+                    tag,
+                });
+            }
+            log
         }),
     }
 }

@@ -5,7 +5,7 @@ use congos_adversary::RumorSpec;
 use congos_baselines::{CryptoMulticastNode, DirectNode, StronglyConfidentialNode};
 use congos_gossip::standalone::Delivered;
 use congos_gossip::GossipNode;
-use congos_sim::{Protocol, TopologySpec};
+use congos_sim::{ProcessId, Protocol, TopologySpec};
 
 use crate::netrun::{NetRunReport, ScheduledInjection};
 
@@ -25,6 +25,11 @@ where
     /// pre-materialized injection schedule (see [`crate::netrun`]), if the
     /// protocol has a networked deployment. `None` means it doesn't —
     /// the default; only protocols with a wire codec can leave the process.
+    ///
+    /// `watch` lists observing-coalition nodes (usually empty): each
+    /// watched node records the `(round, sender, tag)` metadata of its
+    /// deliveries into [`NetRunReport::sightings`] — the networked leg of
+    /// the E13 source-prediction tap.
     fn net_run(
         _n: usize,
         _seed: u64,
@@ -32,6 +37,7 @@ where
         _topology: TopologySpec,
         _base_port: u16,
         _injections: Vec<ScheduledInjection>,
+        _watch: Vec<ProcessId>,
     ) -> Option<std::io::Result<NetRunReport>> {
         None
     }
@@ -50,11 +56,13 @@ impl GossipSystem for CongosNode {
         topology: TopologySpec,
         base_port: u16,
         injections: Vec<ScheduledInjection>,
+        watch: Vec<ProcessId>,
     ) -> Option<std::io::Result<NetRunReport>> {
         let cfg = congos_net::NetConfig::new(n, base_port)
             .seed(seed)
             .rounds(rounds)
-            .topology(topology);
+            .topology(topology)
+            .watch(watch);
         let injections = injections
             .into_iter()
             .map(|(round, source, spec)| (round, source, congos::CongosInput::from(spec)))
@@ -67,6 +75,7 @@ impl GossipSystem for CongosNode {
                 .collect(),
             messages: report.messages,
             topology_drops: report.topology_drops,
+            sightings: report.sightings,
         }))
     }
 }

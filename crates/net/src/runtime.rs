@@ -12,7 +12,7 @@ use std::net::TcpListener;
 use congos::{CongosConfig, CongosInput, CongosNode, DeliveredRumor};
 use congos_sim::topology::TopologySpec;
 use congos_sim::transport::NodeDriver;
-use congos_sim::{OutputRecord, ProcessId};
+use congos_sim::{OutputRecord, ProcessId, Round, Tag};
 
 use crate::transport::TcpTransport;
 
@@ -25,6 +25,7 @@ pub struct NetConfig {
     rounds: u64,
     congos: CongosConfig,
     topology: TopologySpec,
+    watch: Vec<ProcessId>,
 }
 
 impl NetConfig {
@@ -46,6 +47,7 @@ impl NetConfig {
             rounds: 1,
             congos: CongosConfig::base(),
             topology: TopologySpec::Complete,
+            watch: Vec::new(),
         }
     }
 
@@ -80,6 +82,16 @@ impl NetConfig {
             panic!("invalid topology {topology} for n={}: {e}", self.n);
         }
         self.topology = topology;
+        self
+    }
+
+    /// Marks `members` as observing-coalition nodes: each records the
+    /// `(round, sender, tag)` metadata of every envelope delivered to it
+    /// (the E13 source-prediction tap). Recording happens after the inbox
+    /// is handed to the node and consumes no RNG, so a watched cluster is
+    /// bit-identical to an unwatched one.
+    pub fn watch(mut self, members: Vec<ProcessId>) -> Self {
+        self.watch = members;
         self
     }
 
@@ -123,6 +135,9 @@ pub struct NodeReport {
     pub topology_drops: u64,
     /// Rounds executed.
     pub rounds: u64,
+    /// Delivery metadata `(round, sender, tag)` recorded at this node, if it
+    /// was in the watched coalition (empty otherwise).
+    pub sightings: Vec<(Round, ProcessId, Tag)>,
 }
 
 /// Result of a cluster run.
@@ -138,6 +153,10 @@ pub struct NetReport {
     pub topology_drops: u64,
     /// Rounds executed.
     pub rounds: u64,
+    /// Coalition sightings `(round, observer, sender, tag)` across all
+    /// watched nodes, sorted by `(round, observer, sender, tag)` — the same
+    /// canonical order regardless of thread interleaving.
+    pub sightings: Vec<(Round, ProcessId, ProcessId, Tag)>,
 }
 
 impl NetReport {
@@ -148,14 +167,21 @@ impl NetReport {
             messages: 0,
             topology_drops: 0,
             rounds: 0,
+            sightings: Vec::new(),
         };
         for node in nodes {
             report.deliveries.extend(node.deliveries);
             report.messages += node.messages;
             report.topology_drops += node.topology_drops;
             report.rounds = report.rounds.max(node.rounds);
+            report
+                .sightings
+                .extend(node.sightings.into_iter().map(|(r, s, t)| (r, node.id, s, t)));
         }
         report.deliveries.sort_by_key(|o| (o.round, o.process));
+        report
+            .sightings
+            .sort_by_key(|&(r, o, s, t)| (r, o, s, t.name()));
         report
     }
 }
@@ -174,13 +200,18 @@ fn drive_node(
     let mut driver = NodeDriver::<CongosNode>::with_factory(me, cfg.n, cfg.seed, |id, n, _| {
         CongosNode::with_config(id, n, congos_cfg)
     });
+    if cfg.watch.contains(&me) {
+        driver.record_sightings(true);
+    }
     driver.run_rounds(&mut transport, cfg.rounds, injections)?;
+    let sightings = driver.take_sightings();
     Ok(NodeReport {
         id: me,
         deliveries: driver.into_outputs(),
         messages: transport.messages(),
         topology_drops: transport.topology_drops(),
         rounds: cfg.rounds,
+        sightings,
     })
 }
 

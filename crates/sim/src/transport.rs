@@ -320,6 +320,13 @@ pub struct NodeDriver<P: Protocol> {
     /// Receive buffer (reused across rounds).
     inbox: Vec<Envelope<P::Msg>>,
     outputs: Vec<OutputRecord<P::Output>>,
+    /// Delivery-metadata log `(round, sender, tag)` for this node, recorded
+    /// just after the inbox sort when enabled — the socket-path equivalent
+    /// of the engine's `Observer::on_deliver` tap. Self-sends are skipped to
+    /// match the observing-coalition contract. Recording reads state the
+    /// compute phase produces anyway and touches no RNG, so enabling it
+    /// cannot perturb the execution.
+    sightings: Option<Vec<(Round, ProcessId, Tag)>>,
 }
 
 impl<P: Protocol> NodeDriver<P> {
@@ -351,6 +358,27 @@ impl<P: Protocol> NodeDriver<P> {
             out: SendColumns::default(),
             inbox: Vec::new(),
             outputs: Vec::new(),
+            sightings: None,
+        }
+    }
+
+    /// Enables (or disables) delivery-metadata recording for this node.
+    /// While enabled, every received envelope's `(round, sender, tag)` is
+    /// appended to the log returned by [`take_sightings`](Self::take_sightings).
+    pub fn record_sightings(&mut self, on: bool) {
+        if on {
+            self.sightings.get_or_insert_with(Vec::new);
+        } else {
+            self.sightings = None;
+        }
+    }
+
+    /// Drains the recorded delivery metadata (empty unless
+    /// [`record_sightings`](Self::record_sightings) was enabled).
+    pub fn take_sightings(&mut self) -> Vec<(Round, ProcessId, Tag)> {
+        match &mut self.sightings {
+            Some(s) => std::mem::take(s),
+            None => Vec::new(),
         }
     }
 
@@ -424,6 +452,14 @@ impl<P: Protocol> NodeDriver<P> {
         // Stable by source: equals the engine's src-major outbox order, since
         // both substrates preserve per-source send order.
         self.inbox.sort_by_key(|e| e.src);
+        if let Some(sightings) = &mut self.sightings {
+            sightings.extend(
+                self.inbox
+                    .iter()
+                    .filter(|e| e.src != self.id)
+                    .map(|e| (round, e.src, e.tag)),
+            );
+        }
         {
             let mut ctx = Context::<P>::for_runtime(
                 self.id,

@@ -17,6 +17,13 @@
 #   scripts/ci.sh loadtest   # quick congos-loadtest gate: a small loopback
 #                            #        run must deliver something and emit a
 #                            #        report with latency percentiles
+#   scripts/ci.sh anonymity  # source-anonymity target: predict-subsystem
+#                            #        proptests, the tap golden-digest
+#                            #        determinism test, and the
+#                            #        exp_e13_anonymity quick sweep (writes
+#                            #        crates/bench/BENCH_anonymity.json and
+#                            #        asserts congos < direct at coalition
+#                            #        10% on expander:4)
 #   scripts/ci.sh bench      # tier1 + the backend-scaling smoke bench
 #                            #        (results land in BENCH_*.json)
 #   scripts/ci.sh full       # tier1 + bench + the full workspace test suite
@@ -78,6 +85,29 @@ run_loadtest() {
     echo "    wrote $out (p50/p99 present)"
 }
 
+run_anonymity() {
+    echo "==> anonymity: predict-subsystem unit tests + proptests"
+    cargo test -q -p congos-adversary predict
+    cargo test -q -p congos-adversary --test predict_prop
+    echo "==> anonymity: coalition-tap golden-digest determinism"
+    cargo test -q --test differential coalition_tap_preserves_golden_trace_digest
+    echo "==> anonymity: exp_e13_anonymity quick sweep (gate: congos < direct"
+    echo "    at coalition 10% on expander:4; asserted inside the binary)"
+    # Scratch output path so the CI gate cannot clobber the committed
+    # quick-sweep crates/bench/BENCH_anonymity.json (regenerate that by
+    # running exp_e13_anonymity from the repo root; --full for the big rows).
+    out=target/BENCH_anonymity_smoke.json
+    cargo run --release -q -p congos-harness --bin exp_e13_anonymity -- \
+        --json "$out" >/dev/null
+    for key in '"suite": "anonymity"' '"p_id%"' '"eps"' '"system"'; do
+        grep -q "$key" "$out" || {
+            echo "anonymity report $out is missing $key" >&2
+            exit 1
+        }
+    done
+    echo "    wrote $out (schema keys present, gate passed)"
+}
+
 if [ "$target" = "topo" ]; then
     run_topo
     echo "==> ci: OK (topo)"
@@ -102,6 +132,12 @@ if [ "$target" = "loadtest" ]; then
     exit 0
 fi
 
+if [ "$target" = "anonymity" ]; then
+    run_anonymity
+    echo "==> ci: OK (anonymity)"
+    exit 0
+fi
+
 echo "==> tier1: cargo build --release"
 cargo build --release
 
@@ -118,6 +154,7 @@ run_topo
 run_mem
 run_net
 run_loadtest
+run_anonymity
 
 if [ "$target" = "bench" ] || [ "$target" = "full" ]; then
     echo "==> bench: backend_scaling smoke (e3_congos_poisson at n=1024)"

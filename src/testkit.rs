@@ -11,6 +11,7 @@
 use congos::{
     AuditReport, CongosInput, CongosMsg, CongosNode, ConfidentialityAuditor, DeliveredRumor,
 };
+use congos_adversary::predict::{CoalitionTap, SightingLog};
 use congos_adversary::{CrriAdversary, FailurePlan, PoissonWorkload};
 use congos_sim::engine::{Observer, OutputRecord};
 use congos_sim::trace::Tracer;
@@ -110,17 +111,38 @@ pub fn congos_fingerprint<F: FailurePlan>(
     seed: u64,
     failures: F,
 ) -> Fingerprint {
+    congos_fingerprint_tapped(backend, topology, seed, failures, &[]).0
+}
+
+/// [`congos_fingerprint`] with a passive observing coalition tapped into
+/// the delivery phase (`members` empty = no tap, plain fingerprint).
+///
+/// Returns the fingerprint *and* the coalition's sighting log. Observers
+/// run outside the engine's RNG streams, so the fingerprint — trace digest
+/// included — must be bit-identical whether or not a tap listens; the
+/// differential suite pins exactly that.
+pub fn congos_fingerprint_tapped<F: FailurePlan>(
+    backend: EngineBackend,
+    topology: TopologySpec,
+    seed: u64,
+    failures: F,
+    members: &[ProcessId],
+) -> (Fingerprint, SightingLog) {
     let workload =
         PoissonWorkload::new(0.05, 3, DEADLINE, seed ^ 0xD1FF).until(Round(ROUNDS - DEADLINE));
     let mut adv = CrriAdversary::new(failures, workload);
     let mut audit = ConfidentialityAuditor::new(N);
     let mut tracer = Tracer::new(1 << 20);
+    let mut tap = CoalitionTap::new(N, members);
     let mut engine =
         Engine::<CongosNode>::new(EngineConfig::new(N).seed(seed).topology(topology));
     {
-        let mut obs = AuditAndTrace {
-            audit: &mut audit,
-            tracer: &mut tracer,
+        let mut obs = TapAuditAndTrace {
+            base: AuditAndTrace {
+                audit: &mut audit,
+                tracer: &mut tracer,
+            },
+            tap: &mut tap,
         };
         engine.run_observed_backend(backend, ROUNDS, &mut adv, &mut obs);
     }
@@ -128,10 +150,39 @@ pub fn congos_fingerprint<F: FailurePlan>(
         .map(|t| engine.metrics().round(t).iter().collect())
         .collect();
     assert_eq!(tracer.dropped(), 0, "trace must be complete for the digest");
-    Fingerprint {
+    let fp = Fingerprint {
         per_tag,
         audit: audit.report().clone(),
         trace: tracer.render(),
         outputs: engine.into_outputs(),
+    };
+    (fp, tap.into_log())
+}
+
+/// Observer fan-out: the audit + trace pair, plus the coalition tap.
+struct TapAuditAndTrace<'a> {
+    base: AuditAndTrace<'a>,
+    tap: &'a mut CoalitionTap,
+}
+
+impl Observer<CongosNode> for TapAuditAndTrace<'_> {
+    fn on_deliver(&mut self, env: EnvelopeRef<'_, CongosMsg>) {
+        self.base.on_deliver(env);
+        Observer::<CongosNode>::on_deliver(self.tap, env);
+    }
+    fn on_inject(&mut self, round: Round, process: ProcessId, input: &CongosInput) {
+        self.base.on_inject(round, process, input);
+    }
+    fn on_output(&mut self, rec: &OutputRecord<DeliveredRumor>) {
+        self.base.on_output(rec);
+    }
+    fn on_crash(&mut self, round: Round, process: ProcessId) {
+        self.base.on_crash(round, process);
+    }
+    fn on_restart(&mut self, round: Round, process: ProcessId) {
+        self.base.on_restart(round, process);
+    }
+    fn on_round_end(&mut self, round: Round) {
+        self.base.on_round_end(round);
     }
 }

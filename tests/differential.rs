@@ -203,6 +203,42 @@ mod backend_equivalence {
             fnv1a(&par.trace)
         );
     }
+
+    #[test]
+    fn coalition_tap_preserves_golden_trace_digest() {
+        // The source-prediction adversary's tap (E13) is a pure observer:
+        // it gets no RNG handle and cannot perturb the engine, so a
+        // tap-enabled run must reproduce the pinned golden digest
+        // bit-for-bit — and the whole fingerprint must equal the untapped
+        // run's — while still collecting a non-empty sighting log.
+        use confidential_gossip::sim::ProcessId;
+        use confidential_gossip::testkit::congos_fingerprint_tapped;
+
+        let members: Vec<ProcessId> = [3usize, 7, 11].map(ProcessId::new).to_vec();
+        for backend in [EngineBackend::Sequential, EngineBackend::Parallel { workers: 4 }] {
+            let (tapped, log) = congos_fingerprint_tapped(
+                backend,
+                TopologySpec::Complete,
+                42,
+                NoFailures,
+                &members,
+            );
+            assert_eq!(
+                fnv1a(&tapped.trace),
+                GOLDEN_TRACE_DIGEST,
+                "tap-enabled golden trace digest moved (got {:#x})",
+                fnv1a(&tapped.trace)
+            );
+            let plain =
+                congos_fingerprint(backend, TopologySpec::Complete, 42, NoFailures);
+            assert_eq!(tapped, plain, "tap perturbed the execution");
+            assert!(!log.is_empty(), "coalition of 3 must see traffic");
+            assert!(
+                log.iter().all(|s| members.contains(&s.observer)),
+                "sightings from non-members"
+            );
+        }
+    }
 }
 
 mod topology_differential {
